@@ -1,0 +1,102 @@
+// Figure 7 reproduction: ablations on the three pruning hyper-parameters
+// -- pruning ratio r, accumulation window width w_a, pruning window width
+// w_p -- on Fashion-4 and MNIST-2, with classical (noise-free) training
+// and validation, exactly like the paper's ablation ("Classical Valid.
+// Acc" axes).
+//
+// Expected shapes:
+//   * ratio sweep: flat-ish up to r ~ 0.5, dropping toward r -> 1 (too
+//     many frozen parameters per step);
+//   * w_a sweep: best at 1-2; very large w_a flattens the sampling
+//     distribution toward uniform;
+//   * w_p sweep: degrades as w_p grows (stale magnitude estimates).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace qoc;
+using namespace qoc::benchutil;
+
+double run_ablation(const Task& task, int steps, double ratio, int wa,
+                    int wp, std::uint64_t seed) {
+  // Classical ablation runs are cheap: average over seeds so the sweep
+  // shape is not dominated by single-run variance.
+  const int n_seeds = default_seeds(3);
+  const qml::QnnModel model = qml::make_task_model(task.model_key);
+  double acc = 0.0;
+  for (int s = 0; s < n_seeds; ++s) {
+    backend::StatevectorBackend backend(0);
+    auto cfg = default_config(steps, seed + 1000ull * s);
+    cfg.use_pruning = true;
+    cfg.pruner.ratio = ratio;
+    cfg.pruner.accumulation_window = wa;
+    cfg.pruner.pruning_window = wp;
+    train::TrainingEngine engine(model, backend, backend, task.train,
+                                 task.val, cfg);
+    const auto res = engine.run();
+    backend::StatevectorBackend eval_backend(0);
+    acc += eval_accuracy(model, eval_backend, res.theta, task.val, 150, 4);
+  }
+  return acc / n_seeds;
+}
+
+}  // namespace
+
+int main() {
+  const int steps = default_steps(40);
+  std::printf("=== Figure 7: pruning hyper-parameter ablations, classical "
+              "train/valid (steps=%d) ===\n\n", steps);
+  auto tasks = paper_tasks({"Fashion-4", "MNIST-2"});
+
+  std::printf("--- ablation on pruning ratio r (w_a=1, w_p=2) ---\n");
+  std::printf("%8s", "r");
+  for (const auto& t : tasks) std::printf(" %12s", t.name.c_str());
+  std::printf("\n");
+  for (const double r : {0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0}) {
+    std::printf("%8.1f", r);
+    for (const auto& task : tasks) {
+      std::fprintf(stderr, "[fig7] ratio %.1f %s ...\n", r,
+                   task.name.c_str());
+      std::printf(" %12.3f", run_ablation(task, steps, r, 1, 2, 19));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n--- ablation on accumulation window w_a (r=0.5, w_p=2) "
+              "---\n");
+  std::printf("%8s", "w_a");
+  for (const auto& t : tasks) std::printf(" %12s", t.name.c_str());
+  std::printf("\n");
+  for (const int wa : {1, 2, 3, 4, 5}) {
+    std::printf("%8d", wa);
+    for (const auto& task : tasks) {
+      std::fprintf(stderr, "[fig7] wa %d %s ...\n", wa, task.name.c_str());
+      std::printf(" %12.3f", run_ablation(task, steps, 0.5, wa, 2, 19));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n--- ablation on pruning window w_p (r=0.5, w_a=1) ---\n");
+  std::printf("%8s", "w_p");
+  for (const auto& t : tasks) std::printf(" %12s", t.name.c_str());
+  std::printf("\n");
+  for (const int wp : {1, 2, 3, 4, 5}) {
+    std::printf("%8d", wp);
+    for (const auto& task : tasks) {
+      std::fprintf(stderr, "[fig7] wp %d %s ...\n", wp, task.name.c_str());
+      std::printf(" %12.3f", run_ablation(task, steps, 0.5, 1, wp, 19));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nshape check: r=0.4-0.6 competitive with r=0 at a third of "
+              "the gradient cost; accuracy drops at r=1 and for very large "
+              "windows.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Google-benchmark micro-benchmarks for the hot paths of the stack:
+// statevector gate application, noisy trajectory execution, transpilation,
+// and a full parameter-shift gradient step.
+
+#include <benchmark/benchmark.h>
+
+#include "qoc/backend/backend.hpp"
+#include "qoc/circuit/circuit.hpp"
+#include "qoc/circuit/layers.hpp"
+#include "qoc/common/prng.hpp"
+#include "qoc/data/images.hpp"
+#include "qoc/qml/qnn.hpp"
+#include "qoc/sim/gates.hpp"
+#include "qoc/sim/statevector.hpp"
+#include "qoc/train/param_shift.hpp"
+#include "qoc/transpile/transpile.hpp"
+
+namespace {
+
+using namespace qoc;
+
+void BM_Apply1q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Statevector sv(n);
+  const auto g = sim::gate_ry(0.7);
+  int q = 0;
+  for (auto _ : state) {
+    sv.apply_1q(g, q);
+    q = (q + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations() << n);
+}
+BENCHMARK(BM_Apply1q)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_Apply2q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Statevector sv(n);
+  const auto g = sim::gate_rzz(0.7);
+  int q = 0;
+  for (auto _ : state) {
+    sv.apply_2q(g, q, (q + 1) % n);
+    q = (q + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations() << n);
+}
+BENCHMARK(BM_Apply2q)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_ExpectationZAll(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Prng rng(1);
+  sim::Statevector sv(n);
+  for (int q = 0; q < n; ++q) sv.apply_1q(sim::gate_ry(rng.uniform(0, 3)), q);
+  for (auto _ : state) benchmark::DoNotOptimize(sv.expectation_z_all());
+}
+BENCHMARK(BM_ExpectationZAll)->Arg(4)->Arg(10)->Arg(16);
+
+void BM_Sample1024Shots(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Prng rng(2);
+  sim::Statevector sv(n);
+  for (int q = 0; q < n; ++q) sv.apply_1q(sim::gate_h(), q);
+  for (auto _ : state) benchmark::DoNotOptimize(sv.sample(1024, rng));
+}
+BENCHMARK(BM_Sample1024Shots)->Arg(4)->Arg(10)->Arg(16);
+
+void BM_TranspileTaskCircuit(benchmark::State& state) {
+  const qml::QnnModel model = qml::make_fashion4_model();
+  Prng rng(3);
+  const auto theta = model.init_params(rng);
+  const std::vector<double> input(16, 0.5);
+  const auto device = noise::DeviceModel::ibmq_manila();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        transpile::transpile(model.circuit(), theta, input, device));
+}
+BENCHMARK(BM_TranspileTaskCircuit);
+
+void BM_NoisyBackendRun(benchmark::State& state) {
+  const qml::QnnModel model = qml::make_mnist2_model();
+  Prng rng(4);
+  const auto theta = model.init_params(rng);
+  const std::vector<double> input(16, 0.5);
+  backend::NoisyBackendOptions opt;
+  opt.trajectories = static_cast<int>(state.range(0));
+  opt.shots = 256;
+  backend::NoisyBackend qc(noise::DeviceModel::ibmq_santiago(), opt);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(qc.run(model.circuit(), theta, input));
+}
+BENCHMARK(BM_NoisyBackendRun)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_ParameterShiftJacobian(benchmark::State& state) {
+  const qml::QnnModel model = qml::make_mnist2_model();
+  backend::StatevectorBackend backend(0);
+  train::ParameterShiftEngine engine(backend, model);
+  Prng rng(5);
+  const auto theta = model.init_params(rng);
+  const std::vector<double> input(16, 0.5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.jacobian(theta, input));
+}
+BENCHMARK(BM_ParameterShiftJacobian);
+
+void BM_ImagePipeline(benchmark::State& state) {
+  data::SyntheticImages gen(data::SyntheticImages::Style::Fashion, 4, 6);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto img = gen.generate(static_cast<int>(i % 4), i);
+    benchmark::DoNotOptimize(data::image_to_features(img));
+    ++i;
+  }
+}
+BENCHMARK(BM_ImagePipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+#pragma once
+// Classical head of the hybrid training loop (right half of Fig. 4):
+// softmax + cross-entropy on the measured expectation values, and the
+// closed-form backward pass that produces the downstream gradients
+// dL/df(theta). The quantum side (dL/dtheta via parameter shift) lives in
+// qoc::train::ParameterShiftEngine.
+
+#include <span>
+#include <vector>
+
+namespace qoc::autodiff {
+
+/// Numerically-stable softmax (subtracts the max before exponentiation).
+std::vector<double> softmax(std::span<const double> logits);
+
+/// log(softmax(logits)), stable.
+std::vector<double> log_softmax(std::span<const double> logits);
+
+/// Cross-entropy loss -log p[target] for integer class targets.
+double cross_entropy(std::span<const double> logits, int target);
+
+/// Gradient of cross_entropy w.r.t. the logits: softmax(logits) - onehot.
+std::vector<double> cross_entropy_grad(std::span<const double> logits,
+                                       int target);
+
+/// Mean loss over a batch of logit vectors.
+double batch_cross_entropy(const std::vector<std::vector<double>>& logits,
+                           std::span<const int> targets);
+
+/// Measurement head: maps the per-qubit expectation values f(theta) to the
+/// class logits. The paper uses two heads (Sec. 4.1):
+///   * 4-class: identity -- the four <Z_q> are the four logits;
+///   * 2-class: sum qubits (0,1) and (2,3) into two logits.
+class MeasurementHead {
+ public:
+  enum class Kind { Identity, PairSum };
+
+  /// Identity head over n_qubits classes.
+  static MeasurementHead identity(int n_qubits);
+  /// PairSum head: logit_j = sum of expvals in pair j; n_qubits must be
+  /// even, producing n_qubits/2 logits.
+  static MeasurementHead pair_sum(int n_qubits);
+
+  Kind kind() const { return kind_; }
+  int num_inputs() const { return n_inputs_; }
+  int num_logits() const { return n_logits_; }
+
+  /// Forward: expvals (size n_inputs) -> logits (size n_logits).
+  std::vector<double> forward(std::span<const double> expvals) const;
+
+  /// Backward: dL/dlogits -> dL/dexpvals (chain through the head).
+  std::vector<double> backward(std::span<const double> grad_logits) const;
+
+ private:
+  MeasurementHead(Kind kind, int n_inputs, int n_logits)
+      : kind_(kind), n_inputs_(n_inputs), n_logits_(n_logits) {}
+
+  Kind kind_;
+  int n_inputs_;
+  int n_logits_;
+};
+
+}  // namespace qoc::autodiff

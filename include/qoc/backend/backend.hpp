@@ -1,0 +1,162 @@
+#pragma once
+// Execution backends.
+//
+// A Backend runs a bound PQC and returns the Pauli-Z expectation value of
+// every (logical) qubit -- the f(theta) of Eq. 1. Two implementations:
+//
+//  * StatevectorBackend -- the paper's "Classical-Train" baseline: exact
+//    amplitudes, optional shot sampling ("sample based on the amplitude
+//    vector to simulate quantum measurement", Sec. 4.1).
+//
+//  * NoisyBackend -- the stand-in for the real IBM devices: the circuit is
+//    routed + lowered for the device, then executed as stochastic noise
+//    trajectories with depolarizing gate errors, thermal relaxation and
+//    readout bit-flips, and finally sampled with a finite shot budget.
+//
+// Both count every run() as one "inference", the x-axis of Fig. 6.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qoc/circuit/circuit.hpp"
+#include "qoc/common/prng.hpp"
+#include "qoc/noise/channels.hpp"
+#include "qoc/noise/device_model.hpp"
+#include "qoc/transpile/transpile.hpp"
+
+namespace qoc::backend {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Execute the circuit with the given trainable parameters and encoder
+  /// inputs; returns <Z_q> in [-1, 1] for each logical qubit q.
+  std::vector<double> run(const circuit::Circuit& c,
+                          std::span<const double> theta,
+                          std::span<const double> input) {
+    inferences_.fetch_add(1, std::memory_order_relaxed);
+    return execute(c, theta, input);
+  }
+
+  virtual std::string name() const = 0;
+
+  /// Total number of circuit executions since construction / last reset.
+  /// This is the "#Inference" axis of Figure 6.
+  std::uint64_t inference_count() const {
+    return inferences_.load(std::memory_order_relaxed);
+  }
+  void reset_inference_count() { inferences_.store(0); }
+
+ protected:
+  virtual std::vector<double> execute(const circuit::Circuit& c,
+                                      std::span<const double> theta,
+                                      std::span<const double> input) = 0;
+
+ private:
+  std::atomic<std::uint64_t> inferences_{0};
+};
+
+/// Noise-free statevector execution. shots == 0 means exact expectation
+/// values; shots > 0 samples the Born distribution like a real readout.
+class StatevectorBackend final : public Backend {
+ public:
+  explicit StatevectorBackend(int shots = 0,
+                              std::uint64_t seed = 0x51A7E7EC7ULL);
+
+  std::string name() const override { return "statevector"; }
+  int shots() const { return shots_; }
+
+ protected:
+  std::vector<double> execute(const circuit::Circuit& c,
+                              std::span<const double> theta,
+                              std::span<const double> input) override;
+
+ private:
+  int shots_;
+  Prng rng_;
+  std::mutex rng_mutex_;  // sampled mode only; exact mode is stateless
+};
+
+/// Options controlling the noisy-device simulation fidelity/cost trade.
+struct NoisyBackendOptions {
+  /// Independent noise realisations per execution. Total measurement
+  /// samples = shots; each trajectory contributes shots / trajectories.
+  int trajectories = 64;
+  /// Total measurement shots per execution (paper uses 1024).
+  int shots = 1024;
+  std::uint64_t seed = 0xD0C0FEE1ULL;
+  bool enable_gate_noise = true;
+  bool enable_relaxation = true;
+  bool enable_readout_error = true;
+  /// Global multiplier on calibrated error rates (1.0 = calibrated).
+  double noise_scale = 1.0;
+};
+
+/// Exact noisy execution via density-matrix evolution: the same device
+/// model and transpile pipeline as NoisyBackend, but noise channels are
+/// applied exactly (no trajectory sampling, no shot noise). Memory is
+/// O(4^n) so it is limited to devices with <= 12 qubits; it serves as the
+/// ground truth the trajectory backend is validated against, and as a
+/// deterministic noisy-expectation oracle for tests and analysis.
+class DensityMatrixBackend final : public Backend {
+ public:
+  struct Options {
+    bool enable_gate_noise = true;
+    bool enable_relaxation = true;
+    bool enable_readout_error = true;
+    double noise_scale = 1.0;
+  };
+
+  explicit DensityMatrixBackend(noise::DeviceModel device)
+      : DensityMatrixBackend(std::move(device), Options{}) {}
+  DensityMatrixBackend(noise::DeviceModel device, Options options);
+
+  std::string name() const override { return "density:" + device_.name; }
+  const noise::DeviceModel& device() const { return device_; }
+
+ protected:
+  std::vector<double> execute(const circuit::Circuit& c,
+                              std::span<const double> theta,
+                              std::span<const double> input) override;
+
+ private:
+  noise::DeviceModel device_;
+  Options options_;
+};
+
+/// Simulated NISQ device: transpiles to the device and runs noise
+/// trajectories. Thread-safe for concurrent run() calls (each execution
+/// derives its own RNG stream).
+class NoisyBackend final : public Backend {
+ public:
+  NoisyBackend(noise::DeviceModel device, NoisyBackendOptions options = {});
+
+  std::string name() const override { return "noisy:" + device_.name; }
+  const noise::DeviceModel& device() const { return device_; }
+  const NoisyBackendOptions& options() const { return options_; }
+
+  /// Expected per-shot duration of the last-seen circuit shape (seconds);
+  /// used by the Fig. 8 scalability bench.
+  double estimate_duration_s(const circuit::Circuit& c,
+                             std::span<const double> theta,
+                             std::span<const double> input) const;
+
+ protected:
+  std::vector<double> execute(const circuit::Circuit& c,
+                              std::span<const double> theta,
+                              std::span<const double> input) override;
+
+ private:
+  noise::DeviceModel device_;
+  NoisyBackendOptions options_;
+  std::atomic<std::uint64_t> run_serial_{0};
+};
+
+}  // namespace qoc::backend

@@ -1,0 +1,179 @@
+#pragma once
+// Parameterized Quantum Circuit (PQC) intermediate representation.
+//
+// A Circuit is an ordered list of Ops over n qubits. Every rotation angle
+// is a ParamRef that resolves against two external vectors at execution
+// time:
+//   * theta  -- the trainable parameters being optimised on-chip, and
+//   * input  -- the classical features encoded by the data encoder
+//               (16 downsampled pixels or 10 PCA'd vowel features).
+// This split mirrors the paper's |psi(x, theta)> formulation and lets the
+// TrainingEngine shift a single theta_i by +-pi/2 without touching the
+// circuit structure (Sec. 3.1).
+//
+// A trainable index may appear in several gates; the parameter-shift
+// engine sums per-gate contributions in that case, as prescribed at the
+// end of Sec. 3.1.
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "qoc/linalg/matrix.hpp"
+
+namespace qoc::circuit {
+
+using linalg::Matrix;
+
+/// Every gate kind the QOC stack understands. The Rxx/Ryy/Rzz/Rzx family
+/// and the single-qubit rotations all have Hermitian generators with
+/// eigenvalues +-1, so the parameter-shift rule of Eq. 2 applies exactly.
+enum class GateKind {
+  I, X, Y, Z, H, S, Sdg, T, Tdg, Sx,
+  Rx, Ry, Rz, Phase,
+  Cx, Cz, Swap,
+  Rxx, Ryy, Rzz, Rzx,
+  Crx, Cry, Crz, Cp,
+  Ccx,
+};
+
+/// Number of qubits the gate acts on (1, 2 or 3).
+int gate_arity(GateKind kind);
+
+/// True if the gate takes a rotation angle.
+bool gate_is_parameterised(GateKind kind);
+
+/// True if the parameter-shift rule with shift pi/2 and coefficient 1/2
+/// is exact for this gate (generator eigenvalues +-1).
+bool gate_supports_parameter_shift(GateKind kind);
+
+/// Lower-case mnemonic ("rx", "rzz", "cx", ...).
+std::string gate_name(GateKind kind);
+
+/// The gate's (possibly angle-dependent) unitary, in the convention of
+/// qoc/sim/gates.hpp. `angle` is ignored for fixed gates.
+Matrix gate_matrix(GateKind kind, double angle = 0.0);
+
+/// Where a rotation angle comes from.
+struct ParamRef {
+  enum class Source { None, Constant, Trainable, Input };
+
+  Source source = Source::None;
+  int index = -1;      // into theta (Trainable) or input (Input)
+  double value = 0.0;  // Constant angle, or additive offset otherwise
+  double scale = 1.0;  // angle = scale * ref + value (Trainable/Input)
+
+  static ParamRef none() { return {}; }
+  static ParamRef constant(double v) {
+    return {Source::Constant, -1, v, 1.0};
+  }
+  static ParamRef trainable(int idx) {
+    return {Source::Trainable, idx, 0.0, 1.0};
+  }
+  static ParamRef input(int idx, double scale = 1.0, double offset = 0.0) {
+    return {Source::Input, idx, offset, scale};
+  }
+};
+
+/// One gate instance.
+struct Op {
+  GateKind kind = GateKind::I;
+  std::vector<int> qubits;
+  ParamRef param;
+};
+
+/// Resolve an Op's angle against concrete parameter and input vectors.
+double resolve_angle(const ParamRef& ref, std::span<const double> theta,
+                     std::span<const double> input);
+
+class Circuit {
+ public:
+  explicit Circuit(int n_qubits);
+
+  int num_qubits() const { return n_qubits_; }
+  std::size_t num_ops() const { return ops_.size(); }
+  const std::vector<Op>& ops() const { return ops_; }
+  const Op& op(std::size_t i) const { return ops_.at(i); }
+
+  /// Number of distinct trainable parameters (max referenced index + 1).
+  int num_trainable() const { return n_trainable_; }
+  /// Number of distinct input features referenced by encoder gates.
+  int num_inputs() const { return n_inputs_; }
+
+  /// Allocate a fresh trainable parameter slot and return its index.
+  int new_trainable() { return n_trainable_++; }
+
+  // ---- Builder interface --------------------------------------------------
+  void add(GateKind kind, std::vector<int> qubits,
+           ParamRef param = ParamRef::none());
+
+  // Fixed gates.
+  void x(int q) { add(GateKind::X, {q}); }
+  void y(int q) { add(GateKind::Y, {q}); }
+  void z(int q) { add(GateKind::Z, {q}); }
+  void h(int q) { add(GateKind::H, {q}); }
+  void s(int q) { add(GateKind::S, {q}); }
+  void sdg(int q) { add(GateKind::Sdg, {q}); }
+  void t(int q) { add(GateKind::T, {q}); }
+  void tdg(int q) { add(GateKind::Tdg, {q}); }
+  void sx(int q) { add(GateKind::Sx, {q}); }
+  void cx(int control, int target) { add(GateKind::Cx, {control, target}); }
+  void cz(int a, int b) { add(GateKind::Cz, {a, b}); }
+  void swap(int a, int b) { add(GateKind::Swap, {a, b}); }
+
+  // Rotations (ParamRef decides constant / trainable / input).
+  void rx(int q, ParamRef p) { add(GateKind::Rx, {q}, p); }
+  void ry(int q, ParamRef p) { add(GateKind::Ry, {q}, p); }
+  void rz(int q, ParamRef p) { add(GateKind::Rz, {q}, p); }
+  void phase(int q, ParamRef p) { add(GateKind::Phase, {q}, p); }
+  void rxx(int a, int b, ParamRef p) { add(GateKind::Rxx, {a, b}, p); }
+  void ryy(int a, int b, ParamRef p) { add(GateKind::Ryy, {a, b}, p); }
+  void rzz(int a, int b, ParamRef p) { add(GateKind::Rzz, {a, b}, p); }
+  void rzx(int a, int b, ParamRef p) { add(GateKind::Rzx, {a, b}, p); }
+  void crx(int control, int target, ParamRef p) {
+    add(GateKind::Crx, {control, target}, p);
+  }
+  void cry(int control, int target, ParamRef p) {
+    add(GateKind::Cry, {control, target}, p);
+  }
+  void crz(int control, int target, ParamRef p) {
+    add(GateKind::Crz, {control, target}, p);
+  }
+  void cp(int control, int target, ParamRef p) {
+    add(GateKind::Cp, {control, target}, p);
+  }
+  void ccx(int control_a, int control_b, int target) {
+    add(GateKind::Ccx, {control_a, control_b, target});
+  }
+
+  /// Append all ops of `other` (same qubit count required).
+  void append(const Circuit& other);
+
+  // ---- Introspection -------------------------------------------------------
+  /// Indices of ops whose angle depends on trainable parameter `idx`.
+  std::vector<std::size_t> ops_for_param(int idx) const;
+
+  /// Gate counts.
+  std::size_t count_1q() const;
+  std::size_t count_2q() const;
+  /// Circuit depth: longest chain of ops per qubit timeline.
+  std::size_t depth() const;
+
+  /// Full 2^n x 2^n unitary with all angles resolved; intended for tests
+  /// and small n only (n <= 10).
+  Matrix unitary(std::span<const double> theta,
+                 std::span<const double> input) const;
+
+  /// One-op-per-line textual rendering (for debugging and docs).
+  std::string to_string() const;
+
+ private:
+  int n_qubits_;
+  int n_trainable_ = 0;
+  int n_inputs_ = 0;
+  std::vector<Op> ops_;
+};
+
+}  // namespace qoc::circuit

@@ -1,0 +1,45 @@
+#pragma once
+// The seven layer templates of Sec. 4.1 plus the two data encoders.
+//
+// Layer catalogue (verbatim from the paper):
+//   (i)    RX layer  -- RX on every wire
+//   (ii)   RY layer  -- RY on every wire
+//   (iii)  RZ layer  -- RZ on every wire
+//   (iv)   RZZ layer -- RZZ on all logically adjacent wires plus the
+//                       farthest pair, forming a ring (4 gates on 4 qubits)
+//   (v)    RXX layer -- same ring structure as RZZ
+//   (vi)   RZX layer -- same ring structure as RZZ
+//   (vii)  CZ layer  -- CZ on all logically adjacent wires (a chain)
+//
+// Every rotation in a trainable layer gets its own fresh trainable
+// parameter, allocated from the circuit's parameter table.
+
+#include "qoc/circuit/circuit.hpp"
+
+namespace qoc::circuit {
+
+// ---- Trainable layers -----------------------------------------------------
+void add_rx_layer(Circuit& c);
+void add_ry_layer(Circuit& c);
+void add_rz_layer(Circuit& c);
+void add_rzz_ring_layer(Circuit& c);
+void add_rxx_ring_layer(Circuit& c);
+void add_rzx_ring_layer(Circuit& c);
+void add_cz_chain_layer(Circuit& c);
+
+// ---- Data encoders ---------------------------------------------------------
+
+/// 16-feature image encoder for 4x4 downsampled images on 4 qubits:
+/// 4 RY + 4 RZ + 4 RX + 4 RY gates; input value k feeds the phase of the
+/// k-th rotation (Sec. 4.1). `scale` maps raw features to angles.
+void add_image_encoder_16(Circuit& c, double scale = 1.0);
+
+/// 10-feature vowel encoder on 4 qubits: 4 RY + 4 RZ + 2 RX gates.
+void add_vowel_encoder_10(Circuit& c, double scale = 1.0);
+
+/// Generic rotation encoder: cycles RY/RZ/RX layers over the wires until
+/// `n_features` inputs are consumed. Used by the quickstart example and by
+/// tests that need arbitrary feature counts.
+void add_rotation_encoder(Circuit& c, int n_features, double scale = 1.0);
+
+}  // namespace qoc::circuit

@@ -1,0 +1,59 @@
+#pragma once
+// Minimal data-parallel helper used by the backends to fan trajectory /
+// batch work across hardware threads. Deliberately tiny: a blocking
+// parallel_for with static chunking, no work stealing, no global state.
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace qoc {
+
+/// Number of worker threads to use by default (>= 1).
+inline unsigned hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+/// Invoke fn(i) for i in [begin, end), splitting the range statically over
+/// up to max_threads workers. fn must be safe to call concurrently for
+/// distinct i. Exceptions from workers are rethrown on the calling thread
+/// (first one wins).
+inline void parallel_for(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& fn,
+                         unsigned max_threads = 0) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  unsigned workers = max_threads == 0 ? hardware_threads() : max_threads;
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, n));
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  std::vector<std::exception_ptr> errors(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + static_cast<std::size_t>(w) * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([lo, hi, &fn, &errors, w] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace qoc

@@ -1,0 +1,63 @@
+#pragma once
+// Dataset container and mini-batch sampling shared by all five QML tasks.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "qoc/common/prng.hpp"
+
+namespace qoc::data {
+
+/// A labelled classification dataset: features[i] is the feature vector of
+/// example i, labels[i] its integer class.
+struct Dataset {
+  std::vector<std::vector<double>> features;
+  std::vector<int> labels;
+
+  std::size_t size() const { return features.size(); }
+  std::size_t feature_dim() const {
+    return features.empty() ? 0 : features.front().size();
+  }
+  int num_classes() const;
+
+  void push(std::vector<double> x, int y) {
+    features.push_back(std::move(x));
+    labels.push_back(y);
+  }
+
+  /// First `n` examples (paper: "use the front 500 images as the training
+  /// set").
+  Dataset front(std::size_t n) const;
+
+  /// `n` examples sampled without replacement (paper: "randomly sampled
+  /// 300 images as the validation set").
+  Dataset sample(std::size_t n, Prng& rng) const;
+
+  void validate() const;
+};
+
+/// Uniform mini-batch sampler with replacement across calls (paper line:
+/// "Sample a mini-batch I ~ D_trn").
+class BatchSampler {
+ public:
+  BatchSampler(const Dataset& dataset, std::size_t batch_size,
+               std::uint64_t seed);
+
+  /// Indices of the next mini-batch (shuffled epoch order, reshuffling at
+  /// each epoch boundary).
+  std::vector<std::size_t> next();
+
+  std::size_t batch_size() const { return batch_size_; }
+
+ private:
+  void reshuffle();
+
+  const Dataset& dataset_;
+  std::size_t batch_size_;
+  Prng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace qoc::data

@@ -1,0 +1,32 @@
+#pragma once
+// Real-symmetric eigen decomposition via the cyclic Jacobi rotation method.
+// Used by qoc::data::Pca (the paper reduces the vowel features to their 10
+// most significant principal components) and by the VQE example to obtain
+// reference ground-state energies of small Hermitian Hamiltonians.
+
+#include <vector>
+
+#include "qoc/linalg/matrix.hpp"
+
+namespace qoc::linalg {
+
+/// Result of a symmetric eigen decomposition A = V diag(w) V^T.
+/// Eigenvalues are sorted in *descending* order; eigenvectors are the
+/// columns of `vectors`, orthonormal, matching the eigenvalue order.
+struct SymEigenResult {
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;  // vectors[k] is k-th eigenvector
+};
+
+/// Eigen decomposition of a dense real symmetric matrix (row-major, n*n).
+/// Throws std::invalid_argument on non-square input. Convergence is
+/// guaranteed for symmetric matrices; `max_sweeps` is a safety bound.
+SymEigenResult sym_eigen(const std::vector<double>& a, std::size_t n,
+                         int max_sweeps = 100);
+
+/// Smallest eigenvalue of a small complex Hermitian matrix, computed by
+/// reducing to a real symmetric problem of twice the dimension via the
+/// standard embedding [Re -Im; Im Re]. Used to verify VQE results.
+double hermitian_min_eigenvalue(const Matrix& h);
+
+}  // namespace qoc::linalg

@@ -1,0 +1,129 @@
+#pragma once
+// Dense complex matrix type used for gate unitaries, Kraus operators and
+// small verification computations. Dimensions in this codebase are tiny
+// (2^k x 2^k for k <= ~6), so the implementation favours clarity and
+// correctness over blocking/vectorisation.
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qoc::linalg {
+
+using cplx = std::complex<double>;
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr cplx kI{0.0, 1.0};
+
+/// Row-major dense complex matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+
+  /// Construct from nested initializer lists:
+  ///   Matrix m{{1, 0}, {0, 1}};
+  Matrix(std::initializer_list<std::initializer_list<cplx>> init) {
+    rows_ = init.size();
+    cols_ = rows_ == 0 ? 0 : init.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      if (row.size() != cols_)
+        throw std::invalid_argument("Matrix: ragged initializer list");
+      for (const auto& v : row) data_.push_back(v);
+    }
+  }
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  static Matrix zeros(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  cplx& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const cplx& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  cplx& at(std::size_t r, std::size_t c) {
+    check_index(r, c);
+    return data_[r * cols_ + c];
+  }
+  const cplx& at(std::size_t r, std::size_t c) const {
+    check_index(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<cplx>& data() const { return data_; }
+
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix operator*(const Matrix& rhs) const;  // matrix product
+  Matrix operator*(cplx scalar) const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(cplx scalar);
+
+  /// Conjugate transpose.
+  Matrix adjoint() const;
+  Matrix transpose() const;
+  Matrix conj() const;
+
+  cplx trace() const;
+  double frobenius_norm() const;
+
+  /// Matrix-vector product (vec.size() must equal cols()).
+  std::vector<cplx> apply(const std::vector<cplx>& vec) const;
+
+  /// Human-readable rendering for debugging / test failure messages.
+  std::string to_string(int precision = 4) const;
+
+ private:
+  void check_index(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+inline Matrix operator*(cplx scalar, const Matrix& m) { return m * scalar; }
+
+/// Kronecker (tensor) product: result is (a.rows*b.rows) x (a.cols*b.cols).
+Matrix kron(const Matrix& a, const Matrix& b);
+
+/// Kronecker product of a list, left-to-right: kron(ms[0], ms[1], ...).
+Matrix kron_all(const std::vector<Matrix>& ms);
+
+/// Max |a_ij - b_ij| over all entries; infinity if shapes differ.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// True if ||A - B||_max <= tol.
+bool approx_equal(const Matrix& a, const Matrix& b, double tol = 1e-10);
+
+/// True if A is (numerically) unitary: A * A^dagger == I within tol.
+bool is_unitary(const Matrix& m, double tol = 1e-10);
+
+/// True if A is (numerically) Hermitian within tol.
+bool is_hermitian(const Matrix& m, double tol = 1e-10);
+
+/// True if A == e^{i phi} B for some global phase phi, within tol.
+/// This is the right equivalence for comparing gate decompositions.
+bool equal_up_to_global_phase(const Matrix& a, const Matrix& b,
+                              double tol = 1e-9);
+
+}  // namespace qoc::linalg

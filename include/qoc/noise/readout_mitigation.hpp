@@ -1,0 +1,48 @@
+#pragma once
+// Measurement-error mitigation by calibration-matrix inversion -- the
+// standard NISQ technique the paper's software stack (Qiskit) applies on
+// real devices. Provided as an extension: benches can quantify how much
+// of the on-device accuracy drop readout error explains, and how much a
+// mitigated readout recovers.
+//
+// The tensored model calibrates each qubit independently: qubit q's
+// confusion matrix is
+//     A_q = [ P(read 0|0)  P(read 0|1) ]  =  [ 1-e01   e10  ]
+//           [ P(read 1|0)  P(read 1|1) ]     [  e01   1-e10 ]
+// and a measured per-qubit distribution p_meas is corrected by applying
+// A_q^{-1}. Expectation values <Z_q> are corrected in closed form.
+
+#include <vector>
+
+#include "qoc/noise/device_model.hpp"
+
+namespace qoc::noise {
+
+class ReadoutMitigator {
+ public:
+  /// Build from a device's per-qubit calibrated readout errors.
+  explicit ReadoutMitigator(const DeviceModel& device);
+
+  /// Build from explicit per-qubit flip probabilities (e01[q], e10[q]).
+  ReadoutMitigator(std::vector<double> e01, std::vector<double> e10);
+
+  int num_qubits() const { return static_cast<int>(e01_.size()); }
+
+  /// Correct a measured <Z_q>:
+  /// z_true = (z_meas - (e10 - e01)) / (1 - e01 - e10).
+  double mitigate_expectation_z(int qubit, double z_measured) const;
+
+  /// Correct a whole expectation vector (per logical qubit, given the
+  /// physical layout used at measurement time).
+  std::vector<double> mitigate_all(const std::vector<double>& z_measured,
+                                   const std::vector<int>& layout) const;
+
+  /// Correct a single-qubit probability-of-one estimate.
+  double mitigate_probability_one(int qubit, double p1_measured) const;
+
+ private:
+  std::vector<double> e01_;  // P(read 1 | prepared 0)
+  std::vector<double> e10_;  // P(read 0 | prepared 1)
+};
+
+}  // namespace qoc::noise

@@ -1,0 +1,59 @@
+#pragma once
+// Analytic cost models behind Figure 2(a) and Figure 8 of the paper:
+// classical statevector simulation costs grow as O(2^n) in both time and
+// memory, while execution on a quantum device scales roughly linearly in
+// the number of qubits (more qubits -> slightly deeper routed circuits and
+// a constant per-shot readout cost).
+//
+// The classical numbers are derived from the simulator in this repository:
+// a g-gate circuit on n qubits performs ~g * 2^n complex multiply-adds and
+// holds 2^n complex amplitudes. The quantum numbers use a simple
+// superconducting-device latency model (per-gate durations + readout +
+// per-shot reset) matching the scale reported for IBM machines.
+
+#include <cstdint>
+
+namespace qoc::sim {
+
+/// Workload description used by the paper's scalability study: "50 circuits
+/// of different #qubits with 16 rotation gates and 32 RZZ gates".
+struct ScalingWorkload {
+  int n_circuits = 50;
+  int n_rot_1q = 16;   // single-qubit rotations per circuit
+  int n_rot_2q = 32;   // RZZ gates per circuit
+  int shots = 1024;
+};
+
+/// Theoretical operation count to simulate one circuit classically.
+/// Each k-qubit gate on an n-qubit register costs 2^k * 2^n complex MACs.
+double classical_ops(int n_qubits, const ScalingWorkload& w);
+
+/// Theoretical number of complex registers (amplitudes) a classical
+/// simulator must hold for an n-qubit state.
+double classical_regs(int n_qubits);
+
+/// Classical memory cost in gigabytes (16 bytes per complex double).
+double classical_memory_gb(int n_qubits);
+
+/// Estimated classical runtime in seconds for the workload, given a
+/// sustained rate of complex MACs per second (default ~5e9, a single GPU /
+/// vectorised CPU core scale, matching the paper's RTX 2080 Ti curve shape).
+double classical_runtime_s(int n_qubits, const ScalingWorkload& w,
+                           double macs_per_second = 5e9);
+
+/// Quantum device ops: one physical gate is one "op" regardless of n.
+double quantum_ops(int n_qubits, const ScalingWorkload& w);
+
+/// Quantum "registers": the information lives in n physical qubits.
+double quantum_regs(int n_qubits);
+
+/// Estimated wall-clock for running the workload on a superconducting
+/// device: (circuit duration + reset) * shots * circuits + per-job overhead.
+/// Durations: 1q gate ~35ns, 2q gate ~300ns, readout ~5us, reset ~250us.
+double quantum_runtime_s(int n_qubits, const ScalingWorkload& w);
+
+/// Quantum memory cost in GB: classical control electronics bookkeeping
+/// only (counts histogram), effectively negligible and linear in shots.
+double quantum_memory_gb(int n_qubits, const ScalingWorkload& w);
+
+}  // namespace qoc::sim

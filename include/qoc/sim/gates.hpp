@@ -1,0 +1,65 @@
+#pragma once
+// Canonical gate matrices for every gate kind used by QOC circuits.
+//
+// Conventions:
+//  * Qubit 0 is the most significant bit of a basis-state index (so for a
+//    two-qubit matrix acting on (q_a, q_b), q_a indexes the higher bit).
+//    This matches the kron_all ordering used in tests.
+//  * All rotation gates follow the physics convention U = exp(-i/2 * theta * H)
+//    with Hermitian generator H whose eigenvalues are +-1 -- exactly the
+//    family for which the paper's parameter-shift rule (Eq. 2) is exact.
+
+#include "qoc/linalg/matrix.hpp"
+
+namespace qoc::sim {
+
+using linalg::cplx;
+using linalg::Matrix;
+
+// ---- Fixed single-qubit gates -------------------------------------------
+Matrix gate_i();
+Matrix gate_x();
+Matrix gate_y();
+Matrix gate_z();
+Matrix gate_h();
+Matrix gate_s();
+Matrix gate_sdg();
+Matrix gate_t();
+Matrix gate_tdg();
+Matrix gate_sx();   // sqrt(X), an IBM basis gate
+
+// ---- Parameterised single-qubit rotations -------------------------------
+Matrix gate_rx(double theta);  // exp(-i theta X / 2)
+Matrix gate_ry(double theta);  // exp(-i theta Y / 2)
+Matrix gate_rz(double theta);  // exp(-i theta Z / 2)
+Matrix gate_p(double lambda);  // diag(1, e^{i lambda})
+Matrix gate_u3(double theta, double phi, double lambda);
+
+// ---- Fixed two-qubit gates ----------------------------------------------
+Matrix gate_cx();    // control = first (higher) qubit
+Matrix gate_cz();
+Matrix gate_swap();
+
+// ---- Parameterised two-qubit rotations ----------------------------------
+Matrix gate_rxx(double theta);  // exp(-i theta X(x)X / 2)
+Matrix gate_ryy(double theta);  // exp(-i theta Y(x)Y / 2)
+Matrix gate_rzz(double theta);  // exp(-i theta Z(x)Z / 2)
+Matrix gate_rzx(double theta);  // exp(-i theta Z(x)X / 2)
+
+// ---- Controlled rotations (control = first/higher qubit) ----------------
+// NOTE: their generators have eigenvalues {0, +-1}, so the simple +-pi/2
+// parameter-shift rule does NOT apply to them (a 4-term rule would be
+// needed); the circuit layer marks them shift-unsupported.
+Matrix gate_crx(double theta);
+Matrix gate_cry(double theta);
+Matrix gate_crz(double theta);
+Matrix gate_cp(double lambda);  // controlled phase
+
+// ---- Three-qubit ----------------------------------------------------------
+Matrix gate_ccx();  // Toffoli; controls = first two qubits
+
+// ---- Pauli helpers -------------------------------------------------------
+/// Pauli by index: 0 -> I, 1 -> X, 2 -> Y, 3 -> Z.
+Matrix pauli(int index);
+
+}  // namespace qoc::sim

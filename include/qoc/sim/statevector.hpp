@@ -1,0 +1,98 @@
+#pragma once
+// N-qubit statevector simulator.
+//
+// This is the substrate the paper calls "Classical-Train": amplitudes are
+// held in a 2^n complex vector, gates are applied by in-place sparse
+// updates, and measurement is simulated by sampling from |amplitude|^2
+// (exactly the baseline described in Sec. 4.1 of the paper). The same
+// engine also powers the noisy-device trajectory simulation in
+// qoc::backend::NoisyBackend, which is why apply_matrix supports
+// non-unitary operators (Kraus branches) followed by renormalisation.
+//
+// Bit convention: qubit 0 is the MOST significant bit of the basis index.
+// |q0 q1 ... q_{n-1}> corresponds to index (q0 << (n-1)) | ... | q_{n-1}.
+
+#include <cstdint>
+#include <vector>
+
+#include "qoc/common/prng.hpp"
+#include "qoc/linalg/matrix.hpp"
+
+namespace qoc::sim {
+
+using linalg::cplx;
+using linalg::Matrix;
+
+class Statevector {
+ public:
+  /// Initialises to |0...0>. Throws for n_qubits outside [1, 30].
+  explicit Statevector(int n_qubits);
+
+  int num_qubits() const { return n_qubits_; }
+  std::size_t dim() const { return amps_.size(); }
+
+  const std::vector<cplx>& amplitudes() const { return amps_; }
+  cplx amplitude(std::size_t basis_index) const { return amps_[basis_index]; }
+
+  /// Reset to |0...0>.
+  void reset();
+
+  /// Set an arbitrary state (must have dim() entries); not normalised
+  /// automatically -- call normalize() if needed.
+  void set_amplitudes(std::vector<cplx> amps);
+
+  // ---- Gate application --------------------------------------------------
+
+  /// Apply a 2x2 matrix to `qubit`. Works for non-unitary matrices too
+  /// (used for Kraus trajectory branches).
+  void apply_1q(const Matrix& m, int qubit);
+
+  /// Apply a 4x4 matrix to the ordered pair (qubit_a, qubit_b), where
+  /// qubit_a indexes the higher bit of the 4x4 matrix.
+  void apply_2q(const Matrix& m, int qubit_a, int qubit_b);
+
+  /// Apply a 2^k x 2^k matrix to an ordered list of k distinct qubits.
+  /// qubits[0] is the highest bit of the matrix index. k <= 6.
+  void apply_matrix(const Matrix& m, const std::vector<int>& qubits);
+
+  /// Fast Pauli applications (used heavily by the stochastic noise
+  /// trajectory sampler; avoids the generic matrix path).
+  void apply_pauli_x(int qubit);
+  void apply_pauli_y(int qubit);
+  void apply_pauli_z(int qubit);
+
+  // ---- Measurement & observables -----------------------------------------
+
+  /// <Z_qubit> in [-1, 1], computed exactly from amplitudes.
+  double expectation_z(int qubit) const;
+
+  /// Exact <Z> for every qubit at once (single pass over amplitudes).
+  std::vector<double> expectation_z_all() const;
+
+  /// Probability of each basis state (|amp|^2).
+  std::vector<double> probabilities() const;
+
+  /// Probability that `qubit` reads 1.
+  double probability_one(int qubit) const;
+
+  /// Draw `shots` full-register samples; returns basis-state indices.
+  std::vector<std::uint64_t> sample(int shots, Prng& rng) const;
+
+  /// Destructively measure one qubit in the Z basis: collapses the state
+  /// and returns the outcome (0 or 1).
+  int measure_qubit(int qubit, Prng& rng);
+
+  // ---- Norm management ----------------------------------------------------
+  double norm() const;          // sqrt(sum |amp|^2)
+  double norm_squared() const;  // sum |amp|^2
+  void normalize();             // divide by norm(); throws if norm ~ 0
+
+  /// |<other|this>|^2; states must have matching dimension.
+  double fidelity(const Statevector& other) const;
+
+ private:
+  int n_qubits_;
+  std::vector<cplx> amps_;
+};
+
+}  // namespace qoc::sim

@@ -1,0 +1,104 @@
+#pragma once
+// Classical optimizers for the on-chip training loop. Table 3 of the
+// paper compares SGD, SGD+Momentum(0.8) and Adam under a cosine learning-
+// rate schedule from 0.3 down to 0.03, finding Adam best; all three are
+// implemented here, plus the scheduler.
+//
+// All optimizers support *masked* steps for gradient pruning: parameters
+// outside the mask are frozen -- neither the parameter nor its optimizer
+// state (momentum / Adam moments) is touched, matching the paper's
+// "temporarily frozen" semantics (Sec. 3.3).
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qoc::train {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// theta -= update(grad), restricted to mask (nullptr = all params).
+  /// grad.size() must equal theta.size(); mask (if given) likewise.
+  void step(std::vector<double>& theta, std::span<const double> grad,
+            const std::vector<bool>* mask = nullptr) {
+    do_step(theta, grad, mask);
+  }
+
+  virtual std::string name() const = 0;
+
+  void set_learning_rate(double lr) { lr_ = lr; }
+  double learning_rate() const { return lr_; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  virtual void do_step(std::vector<double>& theta,
+                       std::span<const double> grad,
+                       const std::vector<bool>* mask) = 0;
+  double lr_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr) : Optimizer(lr) {}
+  std::string name() const override { return "sgd"; }
+
+ protected:
+  void do_step(std::vector<double>& theta, std::span<const double> grad,
+               const std::vector<bool>* mask) override;
+};
+
+class Momentum final : public Optimizer {
+ public:
+  Momentum(double lr, double momentum = 0.8)
+      : Optimizer(lr), momentum_(momentum) {}
+  std::string name() const override { return "momentum"; }
+
+ protected:
+  void do_step(std::vector<double>& theta, std::span<const double> grad,
+               const std::vector<bool>* mask) override;
+
+ private:
+  double momentum_;
+  std::vector<double> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+       double eps = 1e-8)
+      : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  std::string name() const override { return "adam"; }
+
+ protected:
+  void do_step(std::vector<double>& theta, std::span<const double> grad,
+               const std::vector<bool>* mask) override;
+
+ private:
+  double beta1_, beta2_, eps_;
+  std::vector<double> m_, v_;
+  // Per-parameter step counts: pruned params do not advance their bias
+  // correction, mirroring "frozen" semantics.
+  std::vector<long> t_;
+};
+
+enum class OptimizerKind { Sgd, Momentum, Adam };
+
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind, double lr);
+std::string optimizer_name(OptimizerKind kind);
+
+/// Cosine learning-rate schedule: lr(t) = end + (start-end)/2 *
+/// (1 + cos(pi * t / total)), t in [0, total].
+class CosineScheduler {
+ public:
+  CosineScheduler(double lr_start, double lr_end, int total_steps);
+  double at(int step) const;
+
+ private:
+  double lr_start_, lr_end_;
+  int total_steps_;
+};
+
+}  // namespace qoc::train

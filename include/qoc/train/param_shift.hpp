@@ -1,0 +1,89 @@
+#pragma once
+// In-situ gradient computation via the parameter-shift rule (Sec. 3.1-3.2).
+//
+// For every gate U(theta_i) = exp(-i/2 theta_i H) with H's eigenvalues
+// +-1, the exact derivative of the circuit function is
+//     df/dtheta_i = 1/2 * ( f(theta_i + pi/2) - f(theta_i - pi/2) ),
+// evaluated by running the *shifted* circuit on the backend twice. If a
+// trainable parameter appears in several gates, each occurrence is shifted
+// separately and the contributions are summed (end of Sec. 3.1).
+//
+// The engine composes three parts exactly as Alg. 1 / Fig. 4 describe:
+//   1. Jacobian df/dtheta via parameter shift (on the quantum backend),
+//   2. downstream gradients dL/df via classical softmax/CE backprop,
+//   3. final gradient dL/dtheta = (df/dtheta)^T dL/df.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qoc/backend/backend.hpp"
+#include "qoc/data/dataset.hpp"
+#include "qoc/qml/qnn.hpp"
+
+namespace qoc::train {
+
+/// Copy of `c` with op `op_index`'s angle offset by `delta` (the shifted
+/// circuit of Eq. 2 -- structure unchanged, no ancilla).
+circuit::Circuit with_op_offset(const circuit::Circuit& c,
+                                std::size_t op_index, double delta);
+
+/// Gradient of a mini-batch loss, plus bookkeeping.
+struct BatchGradient {
+  std::vector<double> grad;       // dL/dtheta (mean over the batch)
+  double loss = 0.0;              // mean cross-entropy over the batch
+  std::uint64_t inferences = 0;   // circuit runs consumed
+};
+
+class ParameterShiftEngine {
+ public:
+  ParameterShiftEngine(backend::Backend& backend, const qml::QnnModel& model);
+
+  /// Fan the per-example gradient work of batch_gradient across worker
+  /// threads. 1 (default) = sequential and bit-for-bit deterministic;
+  /// 0 = one thread per hardware core. Values > 1 require the backend to
+  /// tolerate concurrent run() calls (both bundled backends do), and make
+  /// NoisyBackend results run-order dependent, so keep 1 where exact
+  /// reproducibility matters (tests) and use 0 for throughput (benches).
+  void set_threads(unsigned threads) { threads_ = threads; }
+  unsigned threads() const { return threads_; }
+
+  /// Jacobian df/dtheta for a single example: result[q][i] is the
+  /// derivative of qubit q's expectation value w.r.t. theta_i.
+  /// 2 circuit runs per (parameter occurrence).
+  std::vector<std::vector<double>> jacobian(std::span<const double> theta,
+                                            std::span<const double> input);
+
+  /// Mean loss gradient over a mini-batch (rows of `dataset` selected by
+  /// `batch`). If `mask` is non-null, gradients are only evaluated for
+  /// parameters with mask[i] == true; the rest are returned as 0 and cost
+  /// no circuit runs (the savings term r*wp/(wa+wp) of Sec. 3.3).
+  BatchGradient batch_gradient(std::span<const double> theta,
+                               const data::Dataset& dataset,
+                               std::span<const std::size_t> batch,
+                               const std::vector<bool>* mask = nullptr);
+
+  /// Loss (no gradient) on a mini-batch: one run per example.
+  double batch_loss(std::span<const double> theta,
+                    const data::Dataset& dataset,
+                    std::span<const std::size_t> batch);
+
+  backend::Backend& backend() { return backend_; }
+  const qml::QnnModel& model() const { return model_; }
+
+ private:
+  /// d f(theta)/d theta_i for one example as a vector over qubits,
+  /// summing contributions of every gate the parameter appears in.
+  std::vector<double> param_gradient(std::span<const double> theta,
+                                     std::span<const double> input,
+                                     int param_index);
+
+  backend::Backend& backend_;
+  const qml::QnnModel& model_;
+  unsigned threads_ = 1;
+  // param index -> op indices containing it (cached once; circuits are
+  // immutable after model construction).
+  std::vector<std::vector<std::size_t>> param_ops_;
+};
+
+}  // namespace qoc::train

@@ -1,0 +1,85 @@
+#pragma once
+// Probabilistic gradient pruning (Sec. 3.3, Fig. 5).
+//
+// Training is divided into stages; each stage has two phases:
+//   1. accumulation window (w_a steps): full gradients are evaluated and
+//      their magnitudes accumulated into M,
+//   2. pruning window (w_p steps): only a (1 - r) fraction of parameters
+//      -- sampled WITHOUT replacement with probability proportional to the
+//      accumulated magnitude M -- get their gradients evaluated; the rest
+//      are frozen for the step.
+// The fraction of circuit runs saved is r * w_p / (w_a + w_p).
+//
+// Rationale: under NISQ noise, small gradients have large relative errors
+// (Fig. 2c) and are both unreliable and unimportant; magnitudes persist
+// across steps, so the recent accumulation predicts which gradients are
+// trustworthy.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qoc/common/prng.hpp"
+
+namespace qoc::train {
+
+struct PrunerConfig {
+  int accumulation_window = 1;  // w_a >= 1
+  int pruning_window = 2;       // w_p >= 0 (0 disables pruning entirely)
+  double ratio = 0.5;           // r in [0, 1]: fraction pruned per step
+  /// false = probabilistic sampling (the paper's method); true = keep the
+  /// top-(1-r) by accumulated magnitude (the Table 2 baseline).
+  bool deterministic = false;
+
+  void validate() const;
+
+  /// Fraction of gradient evaluations skipped: r * w_p / (w_a + w_p).
+  double savings_fraction() const;
+};
+
+class GradientPruner {
+ public:
+  GradientPruner(int n_params, PrunerConfig config, std::uint64_t seed);
+
+  const PrunerConfig& config() const { return config_; }
+  int num_params() const { return n_params_; }
+
+  /// Phase of the step about to be taken.
+  bool in_accumulation_phase() const;
+
+  /// Mask for the next training step: all-true during accumulation,
+  /// sampled subset of size ceil((1-r)*n) during pruning. Advances the
+  /// stage clock.
+  std::vector<bool> next_mask();
+
+  /// Record a step's gradient (call once per step, right after the
+  /// gradient evaluation). Magnitudes only accumulate during the
+  /// accumulation phase, matching Alg. 1.
+  void observe(std::span<const double> grad);
+
+  /// Accumulated magnitudes M of the current stage (test/diagnostics).
+  const std::vector<double>& accumulated_magnitude() const { return accum_; }
+
+  /// Total steps issued so far.
+  long steps_issued() const { return step_; }
+
+ private:
+  std::vector<bool> sample_mask();
+
+  int n_params_;
+  PrunerConfig config_;
+  Prng rng_;
+  std::vector<double> accum_;
+  long step_ = 0;           // global step counter
+  int stage_pos_ = 0;       // position within the current stage
+  bool last_was_accum_ = true;
+};
+
+/// Weighted sampling of k items without replacement, proportional to
+/// weights (Efraimidis-Spirakis exponential-keys method). Zero-weight
+/// items are only chosen after every positive-weight item. Exposed for
+/// direct testing.
+std::vector<std::size_t> weighted_sample_without_replacement(
+    std::span<const double> weights, std::size_t k, Prng& rng);
+
+}  // namespace qoc::train

@@ -1,0 +1,94 @@
+#include "qoc/autodiff/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qoc::autodiff {
+
+std::vector<double> softmax(std::span<const double> logits) {
+  if (logits.empty()) throw std::invalid_argument("softmax: empty input");
+  const double m = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> out(logits.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - m);
+    sum += out[i];
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+std::vector<double> log_softmax(std::span<const double> logits) {
+  if (logits.empty()) throw std::invalid_argument("log_softmax: empty input");
+  const double m = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (const double v : logits) sum += std::exp(v - m);
+  const double log_z = m + std::log(sum);
+  std::vector<double> out(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) out[i] = logits[i] - log_z;
+  return out;
+}
+
+double cross_entropy(std::span<const double> logits, int target) {
+  if (target < 0 || static_cast<std::size_t>(target) >= logits.size())
+    throw std::out_of_range("cross_entropy: target class");
+  return -log_softmax(logits)[static_cast<std::size_t>(target)];
+}
+
+std::vector<double> cross_entropy_grad(std::span<const double> logits,
+                                       int target) {
+  if (target < 0 || static_cast<std::size_t>(target) >= logits.size())
+    throw std::out_of_range("cross_entropy_grad: target class");
+  std::vector<double> grad = softmax(logits);
+  grad[static_cast<std::size_t>(target)] -= 1.0;
+  return grad;
+}
+
+double batch_cross_entropy(const std::vector<std::vector<double>>& logits,
+                           std::span<const int> targets) {
+  if (logits.size() != targets.size())
+    throw std::invalid_argument("batch_cross_entropy: size mismatch");
+  if (logits.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i)
+    total += cross_entropy(logits[i], targets[i]);
+  return total / static_cast<double>(logits.size());
+}
+
+MeasurementHead MeasurementHead::identity(int n_qubits) {
+  if (n_qubits < 1)
+    throw std::invalid_argument("MeasurementHead::identity: n_qubits < 1");
+  return MeasurementHead(Kind::Identity, n_qubits, n_qubits);
+}
+
+MeasurementHead MeasurementHead::pair_sum(int n_qubits) {
+  if (n_qubits < 2 || n_qubits % 2 != 0)
+    throw std::invalid_argument("MeasurementHead::pair_sum: n_qubits must be even");
+  return MeasurementHead(Kind::PairSum, n_qubits, n_qubits / 2);
+}
+
+std::vector<double> MeasurementHead::forward(
+    std::span<const double> expvals) const {
+  if (static_cast<int>(expvals.size()) != n_inputs_)
+    throw std::invalid_argument("MeasurementHead::forward: size mismatch");
+  if (kind_ == Kind::Identity) return {expvals.begin(), expvals.end()};
+  std::vector<double> out(static_cast<std::size_t>(n_logits_), 0.0);
+  for (int i = 0; i < n_inputs_; ++i)
+    out[static_cast<std::size_t>(i / 2)] += expvals[static_cast<std::size_t>(i)];
+  return out;
+}
+
+std::vector<double> MeasurementHead::backward(
+    std::span<const double> grad_logits) const {
+  if (static_cast<int>(grad_logits.size()) != n_logits_)
+    throw std::invalid_argument("MeasurementHead::backward: size mismatch");
+  if (kind_ == Kind::Identity)
+    return {grad_logits.begin(), grad_logits.end()};
+  std::vector<double> out(static_cast<std::size_t>(n_inputs_));
+  for (int i = 0; i < n_inputs_; ++i)
+    out[static_cast<std::size_t>(i)] = grad_logits[static_cast<std::size_t>(i / 2)];
+  return out;
+}
+
+}  // namespace qoc::autodiff

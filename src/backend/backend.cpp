@@ -1,0 +1,271 @@
+#include "qoc/backend/backend.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "qoc/sim/density_matrix.hpp"
+#include "qoc/sim/statevector.hpp"
+
+namespace qoc::backend {
+
+using circuit::GateKind;
+
+// ---------------------------------------------------------------------------
+// StatevectorBackend
+// ---------------------------------------------------------------------------
+
+StatevectorBackend::StatevectorBackend(int shots, std::uint64_t seed)
+    : shots_(shots), rng_(seed) {
+  if (shots < 0) throw std::invalid_argument("StatevectorBackend: shots < 0");
+}
+
+std::vector<double> StatevectorBackend::execute(
+    const circuit::Circuit& c, std::span<const double> theta,
+    std::span<const double> input) {
+  sim::Statevector sv(c.num_qubits());
+  for (const auto& op : c.ops()) {
+    const double angle = circuit::resolve_angle(op.param, theta, input);
+    sv.apply_matrix(circuit::gate_matrix(op.kind, angle), op.qubits);
+  }
+  if (shots_ == 0) return sv.expectation_z_all();
+
+  // Finite-shot estimate of each <Z_q>. The RNG draw is serialised so
+  // concurrent run() calls (parallel batch gradients) stay safe.
+  Prng shot_rng(0);
+  {
+    const std::lock_guard<std::mutex> lock(rng_mutex_);
+    shot_rng = rng_.split();
+  }
+  const auto samples = sv.sample(shots_, shot_rng);
+  const int n = c.num_qubits();
+  std::vector<double> acc(static_cast<std::size_t>(n), 0.0);
+  for (const auto s : samples) {
+    for (int q = 0; q < n; ++q) {
+      const std::uint64_t bit = (s >> (n - 1 - q)) & 1ULL;
+      acc[static_cast<std::size_t>(q)] += bit ? -1.0 : 1.0;
+    }
+  }
+  for (auto& v : acc) v /= static_cast<double>(shots_);
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// DensityMatrixBackend
+// ---------------------------------------------------------------------------
+
+DensityMatrixBackend::DensityMatrixBackend(noise::DeviceModel device,
+                                           Options options)
+    : device_(std::move(device)), options_(options) {
+  device_.validate();
+  if (device_.n_qubits > 12)
+    throw std::invalid_argument(
+        "DensityMatrixBackend: device too large for O(4^n) simulation");
+  if (options_.noise_scale < 0.0)
+    throw std::invalid_argument("DensityMatrixBackend: negative noise_scale");
+}
+
+std::vector<double> DensityMatrixBackend::execute(
+    const circuit::Circuit& c, std::span<const double> theta,
+    std::span<const double> input) {
+  const auto transpiled = transpile::transpile(c, theta, input, device_);
+  const int n_phys = device_.n_qubits;
+  const double scale = options_.noise_scale;
+
+  // Pre-build channels once per execution.
+  std::vector<noise::KrausChannel> relax_1q, relax_2q;
+  if (options_.enable_relaxation) {
+    for (const auto& cal : device_.qubits) {
+      relax_1q.push_back(noise::thermal_relaxation(
+          cal.t1_s, cal.t2_s, device_.gate_time_1q_s * scale));
+      relax_2q.push_back(noise::thermal_relaxation(
+          cal.t1_s, cal.t2_s, device_.gate_time_2q_s * scale));
+    }
+  }
+  const noise::KrausChannel depol_1q =
+      noise::depolarizing_1q(std::min(1.0, device_.err_1q * scale));
+  const noise::KrausChannel depol_2q =
+      noise::depolarizing_2q(std::min(1.0, device_.err_2q * scale));
+
+  sim::DensityMatrix rho(n_phys);
+  for (const auto& op : transpiled.ops) {
+    rho.apply_unitary(circuit::gate_matrix(op.kind, op.angle), op.qubits);
+    if (op.kind == GateKind::Rz) continue;  // virtual, error-free
+    if (op.qubits.size() == 1) {
+      if (options_.enable_gate_noise)
+        rho.apply_channel(depol_1q.kraus(), op.qubits);
+      if (options_.enable_relaxation)
+        rho.apply_channel(
+            relax_1q[static_cast<std::size_t>(op.qubits[0])].kraus(),
+            op.qubits);
+    } else {
+      if (options_.enable_gate_noise)
+        rho.apply_channel(depol_2q.kraus(), op.qubits);
+      if (options_.enable_relaxation)
+        for (const int q : op.qubits)
+          rho.apply_channel(relax_2q[static_cast<std::size_t>(q)].kraus(),
+                            {q});
+    }
+  }
+
+  const auto z_phys = rho.expectation_z_all();
+  std::vector<double> out(static_cast<std::size_t>(c.num_qubits()));
+  for (int l = 0; l < c.num_qubits(); ++l) {
+    const int phys = transpiled.final_layout[static_cast<std::size_t>(l)];
+    double z = z_phys[static_cast<std::size_t>(phys)];
+    if (options_.enable_readout_error) {
+      const auto& cal = device_.qubits[static_cast<std::size_t>(phys)];
+      const double e01 = cal.readout_err_0to1 * scale;
+      const double e10 = cal.readout_err_1to0 * scale;
+      // Exact effect of classical bit flips on <Z>.
+      z = (1.0 - e01 - e10) * z + (e10 - e01);
+    }
+    out[static_cast<std::size_t>(l)] = z;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// NoisyBackend
+// ---------------------------------------------------------------------------
+
+NoisyBackend::NoisyBackend(noise::DeviceModel device,
+                           NoisyBackendOptions options)
+    : device_(std::move(device)), options_(options) {
+  device_.validate();
+  if (options_.trajectories < 1)
+    throw std::invalid_argument("NoisyBackend: trajectories < 1");
+  if (options_.shots < 1)
+    throw std::invalid_argument("NoisyBackend: shots < 1");
+  if (options_.noise_scale < 0.0)
+    throw std::invalid_argument("NoisyBackend: negative noise_scale");
+}
+
+namespace {
+
+/// Depolarizing error after a physical gate. For Pauli channels the branch
+/// weights are state-independent, so we sample Paulis directly instead of
+/// paying the generic Kraus-branch norm computation.
+void inject_depolarizing(sim::Statevector& sv, const std::vector<int>& qubits,
+                         double p, Prng& rng) {
+  if (p <= 0.0) return;
+  if (qubits.size() == 1) {
+    // I with 1 - 3p/4, else X/Y/Z with p/4 each.
+    const double u = rng.uniform();
+    if (u >= 0.75 * p) return;
+    const int which = static_cast<int>(u / (0.25 * p));
+    switch (which) {
+      case 0: sv.apply_pauli_x(qubits[0]); break;
+      case 1: sv.apply_pauli_y(qubits[0]); break;
+      default: sv.apply_pauli_z(qubits[0]); break;
+    }
+    return;
+  }
+  // Two-qubit: one of the 15 non-identity Pauli pairs w.p. p/16 each.
+  const double u = rng.uniform();
+  if (u >= 15.0 / 16.0 * p) return;
+  const int idx = 1 + static_cast<int>(u / (p / 16.0));  // 1..15
+  const int pa = idx >> 2;
+  const int pb = idx & 3;
+  auto apply_pauli = [&sv](int pauli, int q) {
+    switch (pauli) {
+      case 1: sv.apply_pauli_x(q); break;
+      case 2: sv.apply_pauli_y(q); break;
+      case 3: sv.apply_pauli_z(q); break;
+      default: break;
+    }
+  };
+  apply_pauli(pa, qubits[0]);
+  apply_pauli(pb, qubits[1]);
+}
+
+}  // namespace
+
+std::vector<double> NoisyBackend::execute(const circuit::Circuit& c,
+                                          std::span<const double> theta,
+                                          std::span<const double> input) {
+  const auto transpiled = transpile::transpile(c, theta, input, device_);
+  const int n_phys = device_.n_qubits;
+  const int n_logical = c.num_qubits();
+
+  const double scale = options_.noise_scale;
+  const double p1 = options_.enable_gate_noise ? device_.err_1q * scale : 0.0;
+  const double p2 = options_.enable_gate_noise ? device_.err_2q * scale : 0.0;
+
+  // Pre-build per-qubit relaxation channels for the two gate durations.
+  std::vector<noise::KrausChannel> relax_1q, relax_2q;
+  if (options_.enable_relaxation) {
+    relax_1q.reserve(static_cast<std::size_t>(n_phys));
+    relax_2q.reserve(static_cast<std::size_t>(n_phys));
+    for (const auto& cal : device_.qubits) {
+      relax_1q.push_back(noise::thermal_relaxation(
+          cal.t1_s, cal.t2_s, device_.gate_time_1q_s * scale));
+      relax_2q.push_back(noise::thermal_relaxation(
+          cal.t1_s, cal.t2_s, device_.gate_time_2q_s * scale));
+    }
+  }
+
+  const int n_traj = options_.trajectories;
+  const int shots_per_traj =
+      std::max(1, options_.shots / n_traj);
+
+  // Independent RNG stream per execution; trajectories split from it so
+  // concurrent run() calls do not interleave draws.
+  Prng exec_rng(options_.seed +
+                0x9E3779B97F4A7C15ULL *
+                    (run_serial_.fetch_add(1, std::memory_order_relaxed) + 1));
+
+  std::vector<double> acc(static_cast<std::size_t>(n_logical), 0.0);
+  std::uint64_t total_samples = 0;
+
+  for (int traj = 0; traj < n_traj; ++traj) {
+    Prng rng = exec_rng.split();
+    sim::Statevector sv(n_phys);
+    for (const auto& op : transpiled.ops) {
+      sv.apply_matrix(circuit::gate_matrix(op.kind, op.angle), op.qubits);
+      // Virtual RZ: frame change only, no physical pulse, no error.
+      if (op.kind == GateKind::Rz) continue;
+      if (op.qubits.size() == 1) {
+        inject_depolarizing(sv, op.qubits, p1, rng);
+        if (options_.enable_relaxation)
+          relax_1q[static_cast<std::size_t>(op.qubits[0])].sample_and_apply(
+              sv, {op.qubits[0]}, rng);
+      } else {
+        inject_depolarizing(sv, op.qubits, p2, rng);
+        if (options_.enable_relaxation)
+          for (int q : op.qubits)
+            relax_2q[static_cast<std::size_t>(q)].sample_and_apply(sv, {q},
+                                                                   rng);
+      }
+    }
+
+    // Readout: sample bitstrings from the final state and apply per-qubit
+    // classical flip errors.
+    const auto samples = sv.sample(shots_per_traj, rng);
+    for (const auto s : samples) {
+      for (int l = 0; l < n_logical; ++l) {
+        const int phys = transpiled.final_layout[static_cast<std::size_t>(l)];
+        int bit = static_cast<int>((s >> (n_phys - 1 - phys)) & 1ULL);
+        if (options_.enable_readout_error) {
+          const auto& cal = device_.qubits[static_cast<std::size_t>(phys)];
+          const noise::ReadoutError ro{cal.readout_err_0to1 * scale,
+                                       cal.readout_err_1to0 * scale};
+          bit = ro.apply(bit, rng);
+        }
+        acc[static_cast<std::size_t>(l)] += bit ? -1.0 : 1.0;
+      }
+      ++total_samples;
+    }
+  }
+
+  for (auto& v : acc) v /= static_cast<double>(total_samples);
+  return acc;
+}
+
+double NoisyBackend::estimate_duration_s(const circuit::Circuit& c,
+                                         std::span<const double> theta,
+                                         std::span<const double> input) const {
+  const auto t = transpile::transpile(c, theta, input, device_);
+  return transpile::estimated_duration_s(t, device_);
+}
+
+}  // namespace qoc::backend

@@ -1,0 +1,269 @@
+#include "qoc/circuit/circuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "qoc/sim/gates.hpp"
+#include "qoc/sim/statevector.hpp"
+
+namespace qoc::circuit {
+
+int gate_arity(GateKind kind) {
+  switch (kind) {
+    case GateKind::Cx:
+    case GateKind::Cz:
+    case GateKind::Swap:
+    case GateKind::Rxx:
+    case GateKind::Ryy:
+    case GateKind::Rzz:
+    case GateKind::Rzx:
+    case GateKind::Crx:
+    case GateKind::Cry:
+    case GateKind::Crz:
+    case GateKind::Cp:
+      return 2;
+    case GateKind::Ccx:
+      return 3;
+    default:
+      return 1;
+  }
+}
+
+bool gate_is_parameterised(GateKind kind) {
+  switch (kind) {
+    case GateKind::Rx:
+    case GateKind::Ry:
+    case GateKind::Rz:
+    case GateKind::Phase:
+    case GateKind::Rxx:
+    case GateKind::Ryy:
+    case GateKind::Rzz:
+    case GateKind::Rzx:
+    case GateKind::Crx:
+    case GateKind::Cry:
+    case GateKind::Crz:
+    case GateKind::Cp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool gate_supports_parameter_shift(GateKind kind) {
+  switch (kind) {
+    // exp(-i theta/2 H) with H in {X,Y,Z, XX,YY,ZZ,ZX}: eigenvalues +-1.
+    case GateKind::Rx:
+    case GateKind::Ry:
+    case GateKind::Rz:
+    case GateKind::Rxx:
+    case GateKind::Ryy:
+    case GateKind::Rzz:
+    case GateKind::Rzx:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string gate_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::I: return "id";
+    case GateKind::X: return "x";
+    case GateKind::Y: return "y";
+    case GateKind::Z: return "z";
+    case GateKind::H: return "h";
+    case GateKind::S: return "s";
+    case GateKind::Sdg: return "sdg";
+    case GateKind::T: return "t";
+    case GateKind::Tdg: return "tdg";
+    case GateKind::Sx: return "sx";
+    case GateKind::Rx: return "rx";
+    case GateKind::Ry: return "ry";
+    case GateKind::Rz: return "rz";
+    case GateKind::Phase: return "p";
+    case GateKind::Cx: return "cx";
+    case GateKind::Cz: return "cz";
+    case GateKind::Swap: return "swap";
+    case GateKind::Rxx: return "rxx";
+    case GateKind::Ryy: return "ryy";
+    case GateKind::Rzz: return "rzz";
+    case GateKind::Rzx: return "rzx";
+    case GateKind::Crx: return "crx";
+    case GateKind::Cry: return "cry";
+    case GateKind::Crz: return "crz";
+    case GateKind::Cp: return "cp";
+    case GateKind::Ccx: return "ccx";
+  }
+  return "?";
+}
+
+Matrix gate_matrix(GateKind kind, double angle) {
+  using namespace qoc::sim;
+  switch (kind) {
+    case GateKind::I: return gate_i();
+    case GateKind::X: return gate_x();
+    case GateKind::Y: return gate_y();
+    case GateKind::Z: return gate_z();
+    case GateKind::H: return gate_h();
+    case GateKind::S: return gate_s();
+    case GateKind::Sdg: return gate_sdg();
+    case GateKind::T: return gate_t();
+    case GateKind::Tdg: return gate_tdg();
+    case GateKind::Sx: return gate_sx();
+    case GateKind::Rx: return gate_rx(angle);
+    case GateKind::Ry: return gate_ry(angle);
+    case GateKind::Rz: return gate_rz(angle);
+    case GateKind::Phase: return gate_p(angle);
+    case GateKind::Cx: return gate_cx();
+    case GateKind::Cz: return gate_cz();
+    case GateKind::Swap: return gate_swap();
+    case GateKind::Rxx: return gate_rxx(angle);
+    case GateKind::Ryy: return gate_ryy(angle);
+    case GateKind::Rzz: return gate_rzz(angle);
+    case GateKind::Rzx: return gate_rzx(angle);
+    case GateKind::Crx: return gate_crx(angle);
+    case GateKind::Cry: return gate_cry(angle);
+    case GateKind::Crz: return gate_crz(angle);
+    case GateKind::Cp: return gate_cp(angle);
+    case GateKind::Ccx: return gate_ccx();
+  }
+  throw std::logic_error("gate_matrix: unknown kind");
+}
+
+double resolve_angle(const ParamRef& ref, std::span<const double> theta,
+                     std::span<const double> input) {
+  switch (ref.source) {
+    case ParamRef::Source::None:
+      return 0.0;
+    case ParamRef::Source::Constant:
+      return ref.value;
+    case ParamRef::Source::Trainable:
+      if (ref.index < 0 || static_cast<std::size_t>(ref.index) >= theta.size())
+        throw std::out_of_range("resolve_angle: trainable index");
+      return ref.scale * theta[ref.index] + ref.value;
+    case ParamRef::Source::Input:
+      if (ref.index < 0 || static_cast<std::size_t>(ref.index) >= input.size())
+        throw std::out_of_range("resolve_angle: input index");
+      return ref.scale * input[ref.index] + ref.value;
+  }
+  throw std::logic_error("resolve_angle: unknown source");
+}
+
+Circuit::Circuit(int n_qubits) : n_qubits_(n_qubits) {
+  if (n_qubits < 1) throw std::invalid_argument("Circuit: n_qubits < 1");
+}
+
+void Circuit::add(GateKind kind, std::vector<int> qubits, ParamRef param) {
+  const int arity = gate_arity(kind);
+  if (static_cast<int>(qubits.size()) != arity)
+    throw std::invalid_argument("Circuit::add: wrong qubit count for " +
+                                gate_name(kind));
+  for (int q : qubits)
+    if (q < 0 || q >= n_qubits_)
+      throw std::out_of_range("Circuit::add: qubit index");
+  for (std::size_t i = 0; i < qubits.size(); ++i)
+    for (std::size_t j = i + 1; j < qubits.size(); ++j)
+      if (qubits[i] == qubits[j])
+        throw std::invalid_argument("Circuit::add: duplicate qubit");
+  if (gate_is_parameterised(kind)) {
+    if (param.source == ParamRef::Source::None)
+      throw std::invalid_argument("Circuit::add: " + gate_name(kind) +
+                                  " requires a parameter");
+  } else if (param.source != ParamRef::Source::None) {
+    throw std::invalid_argument("Circuit::add: " + gate_name(kind) +
+                                " takes no parameter");
+  }
+  if (param.source == ParamRef::Source::Trainable)
+    n_trainable_ = std::max(n_trainable_, param.index + 1);
+  if (param.source == ParamRef::Source::Input)
+    n_inputs_ = std::max(n_inputs_, param.index + 1);
+  ops_.push_back(Op{kind, std::move(qubits), param});
+}
+
+void Circuit::append(const Circuit& other) {
+  if (other.n_qubits_ != n_qubits_)
+    throw std::invalid_argument("Circuit::append: qubit count mismatch");
+  for (const auto& op : other.ops_) add(op.kind, op.qubits, op.param);
+}
+
+std::vector<std::size_t> Circuit::ops_for_param(int idx) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < ops_.size(); ++i)
+    if (ops_[i].param.source == ParamRef::Source::Trainable &&
+        ops_[i].param.index == idx)
+      out.push_back(i);
+  return out;
+}
+
+std::size_t Circuit::count_1q() const {
+  std::size_t n = 0;
+  for (const auto& op : ops_)
+    if (gate_arity(op.kind) == 1) ++n;
+  return n;
+}
+
+std::size_t Circuit::count_2q() const {
+  std::size_t n = 0;
+  for (const auto& op : ops_)
+    if (gate_arity(op.kind) == 2) ++n;
+  return n;
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> frontier(n_qubits_, 0);
+  for (const auto& op : ops_) {
+    std::size_t t = 0;
+    for (int q : op.qubits) t = std::max(t, frontier[q]);
+    ++t;
+    for (int q : op.qubits) frontier[q] = t;
+  }
+  return *std::max_element(frontier.begin(), frontier.end());
+}
+
+Matrix Circuit::unitary(std::span<const double> theta,
+                        std::span<const double> input) const {
+  if (n_qubits_ > 10)
+    throw std::invalid_argument("Circuit::unitary: too many qubits");
+  const std::size_t dim = std::size_t{1} << n_qubits_;
+  // Build column by column by running the statevector simulator on each
+  // basis state -- O(4^n) total but trivially correct.
+  Matrix u(dim, dim);
+  for (std::size_t col = 0; col < dim; ++col) {
+    sim::Statevector sv(n_qubits_);
+    std::vector<linalg::cplx> amps(dim, linalg::cplx{0.0, 0.0});
+    amps[col] = 1.0;
+    sv.set_amplitudes(std::move(amps));
+    for (const auto& op : ops_) {
+      const double angle = resolve_angle(op.param, theta, input);
+      sv.apply_matrix(gate_matrix(op.kind, angle), op.qubits);
+    }
+    for (std::size_t row = 0; row < dim; ++row)
+      u(row, col) = sv.amplitude(row);
+  }
+  return u;
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  for (const auto& op : ops_) {
+    os << gate_name(op.kind);
+    for (int q : op.qubits) os << " q" << q;
+    switch (op.param.source) {
+      case ParamRef::Source::Constant:
+        os << " (" << op.param.value << ")";
+        break;
+      case ParamRef::Source::Trainable:
+        os << " (theta[" << op.param.index << "])";
+        break;
+      case ParamRef::Source::Input:
+        os << " (x[" << op.param.index << "]*" << op.param.scale << ")";
+        break;
+      case ParamRef::Source::None:
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace qoc::circuit

@@ -1,0 +1,76 @@
+#include "qoc/circuit/layers.hpp"
+
+namespace qoc::circuit {
+
+namespace {
+
+using AddRot1 = void (Circuit::*)(int, ParamRef);
+using AddRot2 = void (Circuit::*)(int, int, ParamRef);
+
+void rotation_layer(Circuit& c, AddRot1 add) {
+  for (int q = 0; q < c.num_qubits(); ++q)
+    (c.*add)(q, ParamRef::trainable(c.new_trainable()));
+}
+
+/// Ring layer per the paper: wires (0,1), (1,2), ..., (n-2,n-1) and the
+/// logically farthest pair (n-1, 0) closing the ring.
+void ring_layer(Circuit& c, AddRot2 add) {
+  const int n = c.num_qubits();
+  if (n < 2) return;
+  for (int q = 0; q + 1 < n; ++q)
+    (c.*add)(q, q + 1, ParamRef::trainable(c.new_trainable()));
+  if (n > 2)
+    (c.*add)(n - 1, 0, ParamRef::trainable(c.new_trainable()));
+}
+
+}  // namespace
+
+void add_rx_layer(Circuit& c) { rotation_layer(c, &Circuit::rx); }
+void add_ry_layer(Circuit& c) { rotation_layer(c, &Circuit::ry); }
+void add_rz_layer(Circuit& c) { rotation_layer(c, &Circuit::rz); }
+
+void add_rzz_ring_layer(Circuit& c) { ring_layer(c, &Circuit::rzz); }
+void add_rxx_ring_layer(Circuit& c) { ring_layer(c, &Circuit::rxx); }
+void add_rzx_ring_layer(Circuit& c) { ring_layer(c, &Circuit::rzx); }
+
+void add_cz_chain_layer(Circuit& c) {
+  for (int q = 0; q + 1 < c.num_qubits(); ++q) c.cz(q, q + 1);
+}
+
+void add_image_encoder_16(Circuit& c, double scale) {
+  const int n = c.num_qubits();
+  if (n != 4)
+    throw std::invalid_argument("add_image_encoder_16: needs 4 qubits");
+  int feature = 0;
+  for (int q = 0; q < 4; ++q) c.ry(q, ParamRef::input(feature++, scale));
+  for (int q = 0; q < 4; ++q) c.rz(q, ParamRef::input(feature++, scale));
+  for (int q = 0; q < 4; ++q) c.rx(q, ParamRef::input(feature++, scale));
+  for (int q = 0; q < 4; ++q) c.ry(q, ParamRef::input(feature++, scale));
+}
+
+void add_vowel_encoder_10(Circuit& c, double scale) {
+  const int n = c.num_qubits();
+  if (n != 4)
+    throw std::invalid_argument("add_vowel_encoder_10: needs 4 qubits");
+  int feature = 0;
+  for (int q = 0; q < 4; ++q) c.ry(q, ParamRef::input(feature++, scale));
+  for (int q = 0; q < 4; ++q) c.rz(q, ParamRef::input(feature++, scale));
+  for (int q = 0; q < 2; ++q) c.rx(q, ParamRef::input(feature++, scale));
+}
+
+void add_rotation_encoder(Circuit& c, int n_features, double scale) {
+  if (n_features < 0)
+    throw std::invalid_argument("add_rotation_encoder: negative count");
+  // Cycle RY -> RZ -> RX layers over the wires.
+  const AddRot1 rots[3] = {&Circuit::ry, &Circuit::rz, &Circuit::rx};
+  int feature = 0;
+  int layer = 0;
+  while (feature < n_features) {
+    const AddRot1 add = rots[layer % 3];
+    for (int q = 0; q < c.num_qubits() && feature < n_features; ++q)
+      (c.*add)(q, ParamRef::input(feature++, scale));
+    ++layer;
+  }
+}
+
+}  // namespace qoc::circuit

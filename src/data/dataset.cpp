@@ -1,0 +1,80 @@
+#include "qoc/data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace qoc::data {
+
+int Dataset::num_classes() const {
+  int m = 0;
+  for (int y : labels) m = std::max(m, y + 1);
+  return m;
+}
+
+Dataset Dataset::front(std::size_t n) const {
+  Dataset out;
+  const std::size_t take = std::min(n, size());
+  out.features.assign(features.begin(),
+                      features.begin() + static_cast<std::ptrdiff_t>(take));
+  out.labels.assign(labels.begin(),
+                    labels.begin() + static_cast<std::ptrdiff_t>(take));
+  return out;
+}
+
+Dataset Dataset::sample(std::size_t n, Prng& rng) const {
+  std::vector<std::size_t> idx(size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  // Fisher-Yates partial shuffle for the first n positions.
+  const std::size_t take = std::min(n, size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j = i + rng.uniform_int(idx.size() - i);
+    std::swap(idx[i], idx[j]);
+  }
+  Dataset out;
+  for (std::size_t i = 0; i < take; ++i)
+    out.push(features[idx[i]], labels[idx[i]]);
+  return out;
+}
+
+void Dataset::validate() const {
+  if (features.size() != labels.size())
+    throw std::invalid_argument("Dataset: features/labels size mismatch");
+  const std::size_t dim = feature_dim();
+  for (const auto& f : features)
+    if (f.size() != dim)
+      throw std::invalid_argument("Dataset: inconsistent feature dims");
+  for (int y : labels)
+    if (y < 0) throw std::invalid_argument("Dataset: negative label");
+}
+
+BatchSampler::BatchSampler(const Dataset& dataset, std::size_t batch_size,
+                           std::uint64_t seed)
+    : dataset_(dataset), batch_size_(batch_size), rng_(seed) {
+  if (dataset.size() == 0)
+    throw std::invalid_argument("BatchSampler: empty dataset");
+  if (batch_size == 0)
+    throw std::invalid_argument("BatchSampler: zero batch size");
+  reshuffle();
+}
+
+void BatchSampler::reshuffle() {
+  order_.resize(dataset_.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  for (std::size_t i = order_.size(); i > 1; --i) {
+    const std::size_t j = rng_.uniform_int(i);
+    std::swap(order_[i - 1], order_[j]);
+  }
+  cursor_ = 0;
+}
+
+std::vector<std::size_t> BatchSampler::next() {
+  std::vector<std::size_t> batch;
+  batch.reserve(batch_size_);
+  for (std::size_t k = 0; k < batch_size_; ++k) {
+    if (cursor_ >= order_.size()) reshuffle();
+    batch.push_back(order_[cursor_++]);
+  }
+  return batch;
+}
+
+}  // namespace qoc::data

@@ -1,0 +1,79 @@
+#include "qoc/data/pca.hpp"
+
+#include <stdexcept>
+
+#include "qoc/linalg/eigen.hpp"
+
+namespace qoc::data {
+
+Pca::Pca(const std::vector<std::vector<double>>& samples,
+         std::size_t n_components) {
+  if (samples.empty()) throw std::invalid_argument("Pca: no samples");
+  const std::size_t d = samples.front().size();
+  if (n_components == 0 || n_components > d)
+    throw std::invalid_argument("Pca: n_components out of range");
+  for (const auto& s : samples)
+    if (s.size() != d) throw std::invalid_argument("Pca: ragged samples");
+
+  // Mean.
+  mean_.assign(d, 0.0);
+  for (const auto& s : samples)
+    for (std::size_t i = 0; i < d; ++i) mean_[i] += s[i];
+  for (auto& m : mean_) m /= static_cast<double>(samples.size());
+
+  // Covariance (biased-by-n-1; standard sample covariance).
+  std::vector<double> cov(d * d, 0.0);
+  for (const auto& s : samples) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double xi = s[i] - mean_[i];
+      for (std::size_t j = i; j < d; ++j)
+        cov[i * d + j] += xi * (s[j] - mean_[j]);
+    }
+  }
+  const double denom =
+      samples.size() > 1 ? static_cast<double>(samples.size() - 1) : 1.0;
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = i; j < d; ++j) {
+      cov[i * d + j] /= denom;
+      cov[j * d + i] = cov[i * d + j];
+    }
+
+  const auto eig = linalg::sym_eigen(cov, d);
+  components_.assign(eig.vectors.begin(),
+                     eig.vectors.begin() + static_cast<std::ptrdiff_t>(n_components));
+  variance_.assign(eig.values.begin(),
+                   eig.values.begin() + static_cast<std::ptrdiff_t>(n_components));
+}
+
+std::vector<double> Pca::transform(const std::vector<double>& x) const {
+  if (x.size() != mean_.size())
+    throw std::invalid_argument("Pca::transform: dim mismatch");
+  std::vector<double> y(components_.size(), 0.0);
+  for (std::size_t k = 0; k < components_.size(); ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      acc += (x[i] - mean_[i]) * components_[k][i];
+    y[k] = acc;
+  }
+  return y;
+}
+
+std::vector<double> Pca::inverse_transform(const std::vector<double>& y) const {
+  if (y.size() != components_.size())
+    throw std::invalid_argument("Pca::inverse_transform: dim mismatch");
+  std::vector<double> x = mean_;
+  for (std::size_t k = 0; k < components_.size(); ++k)
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x[i] += y[k] * components_[k][i];
+  return x;
+}
+
+Dataset Pca::transform(const Dataset& d) const {
+  Dataset out;
+  out.labels = d.labels;
+  out.features.reserve(d.features.size());
+  for (const auto& f : d.features) out.features.push_back(transform(f));
+  return out;
+}
+
+}  // namespace qoc::data

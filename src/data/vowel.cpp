@@ -1,0 +1,80 @@
+#include "qoc/data/vowel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qoc::data {
+
+SyntheticVowel::SyntheticVowel(int n_classes, std::uint64_t seed, int raw_dim,
+                               double separation)
+    : n_classes_(n_classes), seed_(seed), raw_dim_(raw_dim),
+      separation_(separation) {
+  if (n_classes < 2) throw std::invalid_argument("SyntheticVowel: n_classes");
+  if (raw_dim < 2) throw std::invalid_argument("SyntheticVowel: raw_dim");
+  if (separation <= 0.0)
+    throw std::invalid_argument("SyntheticVowel: separation");
+}
+
+Dataset SyntheticVowel::make_raw(std::size_t n) const {
+  // Class means drawn once from the seed; anisotropic per-dimension spread
+  // mimics formant variance structure (low dims vary more).
+  Prng mean_rng(seed_);
+  std::vector<std::vector<double>> means(
+      static_cast<std::size_t>(n_classes_),
+      std::vector<double>(static_cast<std::size_t>(raw_dim_), 0.0));
+  for (auto& mu : means)
+    for (auto& v : mu) v = mean_rng.normal(0.0, separation_);
+
+  Dataset out;
+  Prng rng(seed_ ^ 0xF0F0F0F0ULL);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % static_cast<std::size_t>(n_classes_));
+    std::vector<double> x(static_cast<std::size_t>(raw_dim_));
+    for (int d = 0; d < raw_dim_; ++d) {
+      // Dimensions decay in informativeness: later dims are mostly noise.
+      const double spread = 1.0 + 2.0 * static_cast<double>(d) / raw_dim_;
+      x[static_cast<std::size_t>(d)] =
+          means[static_cast<std::size_t>(label)][static_cast<std::size_t>(d)] *
+              (d < raw_dim_ / 2 ? 1.0 : 0.15) +
+          rng.normal(0.0, spread);
+    }
+    out.push(std::move(x), label);
+  }
+  out.validate();
+  return out;
+}
+
+VowelTask make_vowel4(std::uint64_t seed) {
+  SyntheticVowel gen(4, seed, 20, 2.0);
+  Dataset pool = gen.make_raw(100 + 4 * 300);
+
+  Dataset raw_train = pool.front(100);
+  Dataset rest;
+  for (std::size_t i = 100; i < pool.size(); ++i)
+    rest.push(pool.features[i], pool.labels[i]);
+  Prng rng(seed ^ 0x5A11DA7EULL);
+  Dataset raw_val = rest.sample(300, rng);
+
+  // Fit PCA on training only (no leakage), keep 10 components.
+  Pca pca(raw_train.features, 10);
+  Dataset train = pca.transform(raw_train);
+  Dataset val = pca.transform(raw_val);
+
+  // Scale each component into a bounded rotation-angle range using the
+  // training set's max magnitude per dimension.
+  std::vector<double> max_abs(10, 1e-12);
+  for (const auto& f : train.features)
+    for (std::size_t k = 0; k < 10; ++k)
+      max_abs[k] = std::max(max_abs[k], std::abs(f[k]));
+  auto rescale = [&](Dataset& d) {
+    for (auto& f : d.features)
+      for (std::size_t k = 0; k < 10; ++k)
+        f[k] = f[k] / max_abs[k] * 3.14159265358979 / 2.0;
+  };
+  rescale(train);
+  rescale(val);
+  return VowelTask{std::move(train), std::move(val)};
+}
+
+}  // namespace qoc::data

@@ -1,0 +1,113 @@
+#include "qoc/linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace qoc::linalg {
+
+namespace {
+
+double off_diagonal_norm(const std::vector<double>& a, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) s += a[i * n + j] * a[i * n + j];
+  return std::sqrt(2.0 * s);
+}
+
+}  // namespace
+
+SymEigenResult sym_eigen(const std::vector<double>& a_in, std::size_t n,
+                         int max_sweeps) {
+  if (a_in.size() != n * n)
+    throw std::invalid_argument("sym_eigen: size mismatch");
+
+  std::vector<double> a = a_in;
+  // V accumulates the rotations; starts as identity.
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  const double tol = 1e-13 * std::max(1.0, off_diagonal_norm(a_in, n));
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm(a, n) <= tol) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        // Classic Jacobi rotation angle selection (Golub & Van Loan 8.4).
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        // A <- J^T A J ; update rows/cols p and q.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        // V <- V J.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Collect and sort by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a[i * n + i];
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+
+  SymEigenResult res;
+  res.values.resize(n);
+  res.vectors.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t src = order[k];
+    res.values[k] = diag[src];
+    for (std::size_t i = 0; i < n; ++i) res.vectors[k][i] = v[i * n + src];
+  }
+  return res;
+}
+
+double hermitian_min_eigenvalue(const Matrix& h) {
+  if (h.rows() != h.cols())
+    throw std::invalid_argument("hermitian_min_eigenvalue: non-square");
+  const std::size_t n = h.rows();
+  const std::size_t m = 2 * n;
+  // Embedding: H = A + iB (A symmetric, B antisymmetric) maps to the real
+  // symmetric [A -B; B A], whose spectrum is that of H, doubled.
+  std::vector<double> real(m * m, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      const double re = h(r, c).real();
+      const double im = h(r, c).imag();
+      real[r * m + c] = re;
+      real[(r + n) * m + (c + n)] = re;
+      real[r * m + (c + n)] = -im;
+      real[(r + n) * m + c] = im;
+    }
+  }
+  const SymEigenResult res = sym_eigen(real, m);
+  return res.values.back();
+}
+
+}  // namespace qoc::linalg

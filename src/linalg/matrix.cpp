@@ -1,0 +1,189 @@
+#include "qoc/linalg/matrix.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace qoc::linalg {
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix::operator+: shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] + rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix::operator-: shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] - rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_)
+    throw std::invalid_argument("Matrix::operator*: inner dim mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx aik = (*this)(i, k);
+      if (aik == cplx{0.0, 0.0}) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j)
+        out(i, j) += aik * rhs(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(cplx scalar) const {
+  Matrix out = *this;
+  out *= scalar;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  *this = *this + rhs;
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  *this = *this - rhs;
+  return *this;
+}
+
+Matrix& Matrix::operator*=(cplx scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::adjoint() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      out(c, r) = std::conj((*this)(r, c));
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::conj() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = std::conj(data_[i]);
+  return out;
+}
+
+cplx Matrix::trace() const {
+  cplx t{0.0, 0.0};
+  const std::size_t n = std::min(rows_, cols_);
+  for (std::size_t i = 0; i < n; ++i) t += (*this)(i, i);
+  return t;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (const auto& v : data_) s += std::norm(v);
+  return std::sqrt(s);
+}
+
+std::vector<cplx> Matrix::apply(const std::vector<cplx>& vec) const {
+  if (vec.size() != cols_)
+    throw std::invalid_argument("Matrix::apply: dim mismatch");
+  std::vector<cplx> out(rows_, cplx{0.0, 0.0});
+  for (std::size_t r = 0; r < rows_; ++r) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * vec[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << "[ ";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const cplx v = (*this)(r, c);
+      os << v.real();
+      os << (v.imag() >= 0 ? "+" : "-") << std::abs(v.imag()) << "i ";
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+Matrix kron(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows() * b.rows(), a.cols() * b.cols());
+  for (std::size_t ar = 0; ar < a.rows(); ++ar)
+    for (std::size_t ac = 0; ac < a.cols(); ++ac) {
+      const cplx v = a(ar, ac);
+      if (v == cplx{0.0, 0.0}) continue;
+      for (std::size_t br = 0; br < b.rows(); ++br)
+        for (std::size_t bc = 0; bc < b.cols(); ++bc)
+          out(ar * b.rows() + br, ac * b.cols() + bc) = v * b(br, bc);
+    }
+  return out;
+}
+
+Matrix kron_all(const std::vector<Matrix>& ms) {
+  if (ms.empty()) return Matrix::identity(1);
+  Matrix out = ms.front();
+  for (std::size_t i = 1; i < ms.size(); ++i) out = kron(out, ms[i]);
+  return out;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    return std::numeric_limits<double>::infinity();
+  double m = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      m = std::max(m, std::abs(a(r, c) - b(r, c)));
+  return m;
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tol) {
+  return max_abs_diff(a, b) <= tol;
+}
+
+bool is_unitary(const Matrix& m, double tol) {
+  if (m.rows() != m.cols()) return false;
+  return approx_equal(m * m.adjoint(), Matrix::identity(m.rows()), tol);
+}
+
+bool is_hermitian(const Matrix& m, double tol) {
+  if (m.rows() != m.cols()) return false;
+  return approx_equal(m, m.adjoint(), tol);
+}
+
+bool equal_up_to_global_phase(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  // Find the largest-magnitude entry of b to extract the phase robustly.
+  std::size_t br = 0, bc = 0;
+  double best = -1.0;
+  for (std::size_t r = 0; r < b.rows(); ++r)
+    for (std::size_t c = 0; c < b.cols(); ++c)
+      if (std::abs(b(r, c)) > best) {
+        best = std::abs(b(r, c));
+        br = r;
+        bc = c;
+      }
+  if (best < tol) return max_abs_diff(a, b) <= tol;  // b ~ 0
+  if (std::abs(a(br, bc)) < tol) return false;
+  const cplx phase = a(br, bc) / b(br, bc);
+  if (std::abs(std::abs(phase) - 1.0) > 1e-6) return false;
+  return approx_equal(a, b * phase, tol);
+}
+
+}  // namespace qoc::linalg

@@ -1,0 +1,64 @@
+#include "qoc/noise/readout_mitigation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qoc::noise {
+
+ReadoutMitigator::ReadoutMitigator(const DeviceModel& device) {
+  device.validate();
+  e01_.reserve(device.qubits.size());
+  e10_.reserve(device.qubits.size());
+  for (const auto& cal : device.qubits) {
+    e01_.push_back(cal.readout_err_0to1);
+    e10_.push_back(cal.readout_err_1to0);
+  }
+}
+
+ReadoutMitigator::ReadoutMitigator(std::vector<double> e01,
+                                   std::vector<double> e10)
+    : e01_(std::move(e01)), e10_(std::move(e10)) {
+  if (e01_.size() != e10_.size() || e01_.empty())
+    throw std::invalid_argument("ReadoutMitigator: size mismatch");
+  for (std::size_t q = 0; q < e01_.size(); ++q) {
+    if (e01_[q] < 0 || e10_[q] < 0 || e01_[q] + e10_[q] >= 1.0)
+      throw std::invalid_argument(
+          "ReadoutMitigator: flip rates must satisfy e01 + e10 < 1");
+  }
+}
+
+double ReadoutMitigator::mitigate_expectation_z(int qubit,
+                                                double z_measured) const {
+  if (qubit < 0 || qubit >= num_qubits())
+    throw std::out_of_range("ReadoutMitigator: qubit");
+  const double e01 = e01_[static_cast<std::size_t>(qubit)];
+  const double e10 = e10_[static_cast<std::size_t>(qubit)];
+  // E[z_meas] = (1 - e01 - e10) z_true + (e10 - e01); invert and clamp to
+  // the physical range (finite-shot estimates can overshoot).
+  const double z = (z_measured - (e10 - e01)) / (1.0 - e01 - e10);
+  return std::clamp(z, -1.0, 1.0);
+}
+
+std::vector<double> ReadoutMitigator::mitigate_all(
+    const std::vector<double>& z_measured,
+    const std::vector<int>& layout) const {
+  if (z_measured.size() != layout.size())
+    throw std::invalid_argument("ReadoutMitigator: layout size mismatch");
+  std::vector<double> out(z_measured.size());
+  for (std::size_t l = 0; l < z_measured.size(); ++l)
+    out[l] = mitigate_expectation_z(layout[l], z_measured[l]);
+  return out;
+}
+
+double ReadoutMitigator::mitigate_probability_one(int qubit,
+                                                  double p1_measured) const {
+  if (qubit < 0 || qubit >= num_qubits())
+    throw std::out_of_range("ReadoutMitigator: qubit");
+  const double e01 = e01_[static_cast<std::size_t>(qubit)];
+  const double e10 = e10_[static_cast<std::size_t>(qubit)];
+  // p1_meas = p1 (1 - e10) + (1 - p1) e01.
+  const double p1 = (p1_measured - e01) / (1.0 - e01 - e10);
+  return std::clamp(p1, 0.0, 1.0);
+}
+
+}  // namespace qoc::noise

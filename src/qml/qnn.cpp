@@ -1,0 +1,129 @@
+#include "qoc/qml/qnn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "qoc/circuit/layers.hpp"
+#include "qoc/common/parallel.hpp"
+
+namespace qoc::qml {
+
+QnnModel::QnnModel(std::string name, circuit::Circuit circuit,
+                   autodiff::MeasurementHead head)
+    : name_(std::move(name)), circuit_(std::move(circuit)),
+      head_(std::move(head)) {
+  if (head_.num_inputs() != circuit_.num_qubits())
+    throw std::invalid_argument(
+        "QnnModel: head inputs must match circuit qubits");
+}
+
+std::vector<double> QnnModel::init_params(Prng& rng) const {
+  std::vector<double> theta(static_cast<std::size_t>(num_params()));
+  for (auto& t : theta) t = rng.uniform(-linalg::kPi, linalg::kPi);
+  return theta;
+}
+
+std::vector<double> QnnModel::forward(backend::Backend& backend,
+                                      std::span<const double> theta,
+                                      std::span<const double> input) const {
+  const auto expvals = backend.run(circuit_, theta, input);
+  return head_.forward(expvals);
+}
+
+int QnnModel::predict(backend::Backend& backend,
+                      std::span<const double> theta,
+                      std::span<const double> input) const {
+  const auto logits = forward(backend, theta, input);
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+double QnnModel::accuracy(backend::Backend& backend,
+                          std::span<const double> theta,
+                          const data::Dataset& dataset,
+                          unsigned threads) const {
+  if (dataset.size() == 0) return 0.0;
+  std::vector<unsigned char> correct(dataset.size(), 0);
+  auto judge = [&](std::size_t i) {
+    correct[i] =
+        predict(backend, theta, dataset.features[i]) == dataset.labels[i];
+  };
+  if (threads == 1) {
+    for (std::size_t i = 0; i < dataset.size(); ++i) judge(i);
+  } else {
+    parallel_for(0, dataset.size(), judge, threads);
+  }
+  std::size_t total = 0;
+  for (const auto c : correct) total += c;
+  return static_cast<double>(total) / static_cast<double>(dataset.size());
+}
+
+namespace {
+
+constexpr int kQubits = 4;
+
+circuit::Circuit two_class_circuit() {
+  circuit::Circuit c(kQubits);
+  circuit::add_image_encoder_16(c);
+  circuit::add_rzz_ring_layer(c);
+  circuit::add_ry_layer(c);
+  return c;
+}
+
+}  // namespace
+
+QnnModel make_mnist2_model() {
+  return QnnModel("mnist2", two_class_circuit(),
+                  autodiff::MeasurementHead::pair_sum(kQubits));
+}
+
+QnnModel make_fashion2_model() {
+  return QnnModel("fashion2", two_class_circuit(),
+                  autodiff::MeasurementHead::pair_sum(kQubits));
+}
+
+QnnModel make_mnist4_model() {
+  circuit::Circuit c(kQubits);
+  circuit::add_image_encoder_16(c);
+  for (int block = 0; block < 3; ++block) {
+    circuit::add_rx_layer(c);
+    circuit::add_ry_layer(c);
+    circuit::add_rz_layer(c);
+    circuit::add_cz_chain_layer(c);
+  }
+  return QnnModel("mnist4", std::move(c),
+                  autodiff::MeasurementHead::identity(kQubits));
+}
+
+QnnModel make_fashion4_model() {
+  circuit::Circuit c(kQubits);
+  circuit::add_image_encoder_16(c);
+  for (int block = 0; block < 3; ++block) {
+    circuit::add_rzz_ring_layer(c);
+    circuit::add_ry_layer(c);
+  }
+  return QnnModel("fashion4", std::move(c),
+                  autodiff::MeasurementHead::identity(kQubits));
+}
+
+QnnModel make_vowel4_model() {
+  circuit::Circuit c(kQubits);
+  circuit::add_vowel_encoder_10(c);
+  for (int block = 0; block < 2; ++block) {
+    circuit::add_rzz_ring_layer(c);
+    circuit::add_rxx_ring_layer(c);
+  }
+  return QnnModel("vowel4", std::move(c),
+                  autodiff::MeasurementHead::identity(kQubits));
+}
+
+QnnModel make_task_model(const std::string& task) {
+  if (task == "mnist2") return make_mnist2_model();
+  if (task == "mnist4") return make_mnist4_model();
+  if (task == "fashion2") return make_fashion2_model();
+  if (task == "fashion4") return make_fashion4_model();
+  if (task == "vowel4") return make_vowel4_model();
+  throw std::invalid_argument("make_task_model: unknown task " + task);
+}
+
+}  // namespace qoc::qml

@@ -1,0 +1,59 @@
+#include "qoc/sim/cost_model.hpp"
+
+#include <cmath>
+
+namespace qoc::sim {
+
+namespace {
+double pow2(int n) { return std::ldexp(1.0, n); }
+}  // namespace
+
+double classical_ops(int n_qubits, const ScalingWorkload& w) {
+  // 2^1-dim gate update costs 2 MACs per amplitude pair -> 2 * 2^n;
+  // 4x4 update costs 4 MACs per group of 4 amplitudes -> 4 * 2^n.
+  const double per_circuit =
+      (2.0 * w.n_rot_1q + 4.0 * w.n_rot_2q) * pow2(n_qubits);
+  return per_circuit * w.n_circuits;
+}
+
+double classical_regs(int n_qubits) { return pow2(n_qubits); }
+
+double classical_memory_gb(int n_qubits) {
+  return classical_regs(n_qubits) * 16.0 / 1e9;
+}
+
+double classical_runtime_s(int n_qubits, const ScalingWorkload& w,
+                           double macs_per_second) {
+  return classical_ops(n_qubits, w) / macs_per_second;
+}
+
+double quantum_ops(int n_qubits, const ScalingWorkload& w) {
+  // Routing overhead grows mildly with device size: assume a linear chain
+  // in the worst case adds ~n/8 SWAPs (3 CX each) per two-qubit gate.
+  const double routing_factor = 1.0 + n_qubits / 8.0 * 3.0 / 10.0;
+  const double per_circuit = w.n_rot_1q + w.n_rot_2q * routing_factor;
+  return per_circuit * w.n_circuits;
+}
+
+double quantum_regs(int n_qubits) { return n_qubits; }
+
+double quantum_runtime_s(int n_qubits, const ScalingWorkload& w) {
+  constexpr double t_1q = 35e-9;
+  constexpr double t_2q = 300e-9;
+  constexpr double t_readout = 5e-6;
+  constexpr double t_reset = 250e-6;
+  constexpr double t_job_overhead = 8.0;  // queue/compile per job
+  const double routing_factor = 1.0 + n_qubits / 8.0 * 3.0 / 10.0;
+  const double circuit_time = w.n_rot_1q * t_1q +
+                              w.n_rot_2q * routing_factor * t_2q +
+                              n_qubits * t_readout + t_reset;
+  return circuit_time * w.shots * w.n_circuits + t_job_overhead;
+}
+
+double quantum_memory_gb(int n_qubits, const ScalingWorkload& w) {
+  // Counts histogram: at most shots distinct bitstrings of n bits.
+  const double bytes = static_cast<double>(w.shots) * (n_qubits / 8.0 + 8.0);
+  return bytes * w.n_circuits / 1e9;
+}
+
+}  // namespace qoc::sim

@@ -1,0 +1,150 @@
+#include "qoc/sim/gates.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qoc::sim {
+
+using linalg::kI;
+using linalg::kPi;
+
+Matrix gate_i() { return Matrix{{1, 0}, {0, 1}}; }
+
+Matrix gate_x() { return Matrix{{0, 1}, {1, 0}}; }
+
+Matrix gate_y() { return Matrix{{0, -kI}, {kI, 0}}; }
+
+Matrix gate_z() { return Matrix{{1, 0}, {0, -1}}; }
+
+Matrix gate_h() {
+  const double s = 1.0 / std::sqrt(2.0);
+  return Matrix{{s, s}, {s, -s}};
+}
+
+Matrix gate_s() { return Matrix{{1, 0}, {0, kI}}; }
+
+Matrix gate_sdg() { return Matrix{{1, 0}, {0, -kI}}; }
+
+Matrix gate_t() {
+  return Matrix{{1, 0}, {0, std::exp(kI * (kPi / 4.0))}};
+}
+
+Matrix gate_tdg() {
+  return Matrix{{1, 0}, {0, std::exp(-kI * (kPi / 4.0))}};
+}
+
+Matrix gate_sx() {
+  // sqrt(X) = 1/2 [[1+i, 1-i], [1-i, 1+i]]
+  const cplx a{0.5, 0.5};
+  const cplx b{0.5, -0.5};
+  return Matrix{{a, b}, {b, a}};
+}
+
+Matrix gate_rx(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return Matrix{{c, -kI * s}, {-kI * s, c}};
+}
+
+Matrix gate_ry(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return Matrix{{c, -s}, {s, c}};
+}
+
+Matrix gate_rz(double theta) {
+  return Matrix{{std::exp(-kI * (theta / 2.0)), 0},
+                {0, std::exp(kI * (theta / 2.0))}};
+}
+
+Matrix gate_p(double lambda) {
+  return Matrix{{1, 0}, {0, std::exp(kI * lambda)}};
+}
+
+Matrix gate_u3(double theta, double phi, double lambda) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return Matrix{{c, -std::exp(kI * lambda) * s},
+                {std::exp(kI * phi) * s, std::exp(kI * (phi + lambda)) * c}};
+}
+
+Matrix gate_cx() {
+  return Matrix{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 0, 1}, {0, 0, 1, 0}};
+}
+
+Matrix gate_cz() {
+  return Matrix{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, -1}};
+}
+
+Matrix gate_swap() {
+  return Matrix{{1, 0, 0, 0}, {0, 0, 1, 0}, {0, 1, 0, 0}, {0, 0, 0, 1}};
+}
+
+namespace {
+
+/// exp(-i theta/2 * P) for a two-qubit Pauli-product generator P with
+/// P^2 = I: cos(theta/2) I - i sin(theta/2) P.
+Matrix two_qubit_rotation(const Matrix& generator, double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  Matrix out = Matrix::identity(4) * cplx{c, 0.0};
+  out -= generator * (kI * s);
+  return out;
+}
+
+}  // namespace
+
+Matrix gate_rxx(double theta) {
+  return two_qubit_rotation(linalg::kron(gate_x(), gate_x()), theta);
+}
+
+Matrix gate_ryy(double theta) {
+  return two_qubit_rotation(linalg::kron(gate_y(), gate_y()), theta);
+}
+
+Matrix gate_rzz(double theta) {
+  return two_qubit_rotation(linalg::kron(gate_z(), gate_z()), theta);
+}
+
+Matrix gate_rzx(double theta) {
+  return two_qubit_rotation(linalg::kron(gate_z(), gate_x()), theta);
+}
+
+namespace {
+
+/// Embed a 2x2 single-qubit gate as its controlled version on 2 qubits
+/// (control = higher bit).
+Matrix controlled(const Matrix& u) {
+  Matrix out = Matrix::identity(4);
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 2; ++c) out(2 + r, 2 + c) = u(r, c);
+  return out;
+}
+
+}  // namespace
+
+Matrix gate_crx(double theta) { return controlled(gate_rx(theta)); }
+Matrix gate_cry(double theta) { return controlled(gate_ry(theta)); }
+Matrix gate_crz(double theta) { return controlled(gate_rz(theta)); }
+Matrix gate_cp(double lambda) { return controlled(gate_p(lambda)); }
+
+Matrix gate_ccx() {
+  Matrix out = Matrix::identity(8);
+  out(6, 6) = 0.0;
+  out(7, 7) = 0.0;
+  out(6, 7) = 1.0;
+  out(7, 6) = 1.0;
+  return out;
+}
+
+Matrix pauli(int index) {
+  switch (index) {
+    case 0: return gate_i();
+    case 1: return gate_x();
+    case 2: return gate_y();
+    case 3: return gate_z();
+    default: throw std::invalid_argument("pauli: index must be 0..3");
+  }
+}
+
+}  // namespace qoc::sim

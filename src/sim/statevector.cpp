@@ -1,0 +1,268 @@
+#include "qoc/sim/statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qoc::sim {
+
+namespace {
+constexpr int kMaxQubits = 30;
+}
+
+Statevector::Statevector(int n_qubits) : n_qubits_(n_qubits) {
+  if (n_qubits < 1 || n_qubits > kMaxQubits)
+    throw std::invalid_argument("Statevector: n_qubits out of range [1,30]");
+  amps_.assign(std::size_t{1} << n_qubits, cplx{0.0, 0.0});
+  amps_[0] = 1.0;
+}
+
+void Statevector::reset() {
+  std::fill(amps_.begin(), amps_.end(), cplx{0.0, 0.0});
+  amps_[0] = 1.0;
+}
+
+void Statevector::set_amplitudes(std::vector<cplx> amps) {
+  if (amps.size() != amps_.size())
+    throw std::invalid_argument("Statevector::set_amplitudes: dim mismatch");
+  amps_ = std::move(amps);
+}
+
+void Statevector::apply_1q(const Matrix& m, int qubit) {
+  if (m.rows() != 2 || m.cols() != 2)
+    throw std::invalid_argument("apply_1q: matrix must be 2x2");
+  if (qubit < 0 || qubit >= n_qubits_)
+    throw std::out_of_range("apply_1q: qubit index");
+  const std::size_t stride = std::size_t{1} << (n_qubits_ - 1 - qubit);
+  const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+  const std::size_t dim = amps_.size();
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    for (std::size_t off = 0; off < stride; ++off) {
+      const std::size_t i0 = base + off;
+      const std::size_t i1 = i0 + stride;
+      const cplx a0 = amps_[i0];
+      const cplx a1 = amps_[i1];
+      amps_[i0] = m00 * a0 + m01 * a1;
+      amps_[i1] = m10 * a0 + m11 * a1;
+    }
+  }
+}
+
+void Statevector::apply_2q(const Matrix& m, int qubit_a, int qubit_b) {
+  if (m.rows() != 4 || m.cols() != 4)
+    throw std::invalid_argument("apply_2q: matrix must be 4x4");
+  if (qubit_a == qubit_b)
+    throw std::invalid_argument("apply_2q: duplicate qubit");
+  if (qubit_a < 0 || qubit_a >= n_qubits_ || qubit_b < 0 ||
+      qubit_b >= n_qubits_)
+    throw std::out_of_range("apply_2q: qubit index");
+
+  const std::size_t sa = std::size_t{1} << (n_qubits_ - 1 - qubit_a);
+  const std::size_t sb = std::size_t{1} << (n_qubits_ - 1 - qubit_b);
+  const std::size_t dim = amps_.size();
+  const std::size_t mask = sa | sb;
+
+  cplx mm[4][4];
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) mm[r][c] = m(r, c);
+
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (i & mask) continue;  // visit each group once, via its 00 member
+    const std::size_t i00 = i;
+    const std::size_t i01 = i | sb;
+    const std::size_t i10 = i | sa;
+    const std::size_t i11 = i | sa | sb;
+    const cplx a00 = amps_[i00], a01 = amps_[i01], a10 = amps_[i10],
+               a11 = amps_[i11];
+    amps_[i00] = mm[0][0] * a00 + mm[0][1] * a01 + mm[0][2] * a10 + mm[0][3] * a11;
+    amps_[i01] = mm[1][0] * a00 + mm[1][1] * a01 + mm[1][2] * a10 + mm[1][3] * a11;
+    amps_[i10] = mm[2][0] * a00 + mm[2][1] * a01 + mm[2][2] * a10 + mm[2][3] * a11;
+    amps_[i11] = mm[3][0] * a00 + mm[3][1] * a01 + mm[3][2] * a10 + mm[3][3] * a11;
+  }
+}
+
+void Statevector::apply_matrix(const Matrix& m, const std::vector<int>& qubits) {
+  const std::size_t k = qubits.size();
+  if (k == 1) {
+    apply_1q(m, qubits[0]);
+    return;
+  }
+  if (k == 2) {
+    apply_2q(m, qubits[0], qubits[1]);
+    return;
+  }
+  if (k == 0 || k > 6)
+    throw std::invalid_argument("apply_matrix: supports 1..6 qubits");
+  const std::size_t sub = std::size_t{1} << k;
+  if (m.rows() != sub || m.cols() != sub)
+    throw std::invalid_argument("apply_matrix: matrix dim mismatch");
+  for (std::size_t i = 0; i < k; ++i) {
+    if (qubits[i] < 0 || qubits[i] >= n_qubits_)
+      throw std::out_of_range("apply_matrix: qubit index");
+    for (std::size_t j = i + 1; j < k; ++j)
+      if (qubits[i] == qubits[j])
+        throw std::invalid_argument("apply_matrix: duplicate qubit");
+  }
+
+  // Strides: qubits[0] is the highest bit of the sub-index.
+  std::vector<std::size_t> stride(k);
+  std::size_t mask = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    stride[i] = std::size_t{1} << (n_qubits_ - 1 - qubits[i]);
+    mask |= stride[i];
+  }
+
+  std::vector<cplx> in(sub), out(sub);
+  const std::size_t dim = amps_.size();
+  for (std::size_t base = 0; base < dim; ++base) {
+    if (base & mask) continue;
+    for (std::size_t s = 0; s < sub; ++s) {
+      std::size_t idx = base;
+      for (std::size_t b = 0; b < k; ++b)
+        if (s & (sub >> 1 >> b)) idx |= stride[b];
+      in[s] = amps_[idx];
+    }
+    for (std::size_t r = 0; r < sub; ++r) {
+      cplx acc{0.0, 0.0};
+      for (std::size_t c = 0; c < sub; ++c) acc += m(r, c) * in[c];
+      out[r] = acc;
+    }
+    for (std::size_t s = 0; s < sub; ++s) {
+      std::size_t idx = base;
+      for (std::size_t b = 0; b < k; ++b)
+        if (s & (sub >> 1 >> b)) idx |= stride[b];
+      amps_[idx] = out[s];
+    }
+  }
+}
+
+void Statevector::apply_pauli_x(int qubit) {
+  const std::size_t stride = std::size_t{1} << (n_qubits_ - 1 - qubit);
+  const std::size_t dim = amps_.size();
+  for (std::size_t base = 0; base < dim; base += 2 * stride)
+    for (std::size_t off = 0; off < stride; ++off)
+      std::swap(amps_[base + off], amps_[base + off + stride]);
+}
+
+void Statevector::apply_pauli_y(int qubit) {
+  const std::size_t stride = std::size_t{1} << (n_qubits_ - 1 - qubit);
+  const std::size_t dim = amps_.size();
+  const cplx i{0.0, 1.0};
+  for (std::size_t base = 0; base < dim; base += 2 * stride)
+    for (std::size_t off = 0; off < stride; ++off) {
+      const std::size_t i0 = base + off;
+      const std::size_t i1 = i0 + stride;
+      const cplx a0 = amps_[i0];
+      const cplx a1 = amps_[i1];
+      amps_[i0] = -i * a1;
+      amps_[i1] = i * a0;
+    }
+}
+
+void Statevector::apply_pauli_z(int qubit) {
+  const std::size_t stride = std::size_t{1} << (n_qubits_ - 1 - qubit);
+  const std::size_t dim = amps_.size();
+  for (std::size_t base = stride; base < dim; base += 2 * stride)
+    for (std::size_t off = 0; off < stride; ++off)
+      amps_[base + off] = -amps_[base + off];
+}
+
+double Statevector::expectation_z(int qubit) const {
+  if (qubit < 0 || qubit >= n_qubits_)
+    throw std::out_of_range("expectation_z: qubit index");
+  const std::size_t stride = std::size_t{1} << (n_qubits_ - 1 - qubit);
+  double acc = 0.0;
+  const std::size_t dim = amps_.size();
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double p = std::norm(amps_[i]);
+    acc += (i & stride) ? -p : p;
+  }
+  return acc;
+}
+
+std::vector<double> Statevector::expectation_z_all() const {
+  std::vector<double> out(n_qubits_, 0.0);
+  const std::size_t dim = amps_.size();
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double p = std::norm(amps_[i]);
+    if (p == 0.0) continue;
+    for (int q = 0; q < n_qubits_; ++q) {
+      const std::size_t stride = std::size_t{1} << (n_qubits_ - 1 - q);
+      out[q] += (i & stride) ? -p : p;
+    }
+  }
+  return out;
+}
+
+std::vector<double> Statevector::probabilities() const {
+  std::vector<double> p(amps_.size());
+  for (std::size_t i = 0; i < amps_.size(); ++i) p[i] = std::norm(amps_[i]);
+  return p;
+}
+
+double Statevector::probability_one(int qubit) const {
+  const std::size_t stride = std::size_t{1} << (n_qubits_ - 1 - qubit);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i)
+    if (i & stride) acc += std::norm(amps_[i]);
+  return acc;
+}
+
+std::vector<std::uint64_t> Statevector::sample(int shots, Prng& rng) const {
+  // Inverse-CDF sampling over the (small) basis; O(dim + shots log dim).
+  std::vector<double> cdf(amps_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    acc += std::norm(amps_[i]);
+    cdf[i] = acc;
+  }
+  const double total = acc;
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(shots));
+  for (int s = 0; s < shots; ++s) {
+    const double u = rng.uniform() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    out.push_back(static_cast<std::uint64_t>(
+        std::min<std::ptrdiff_t>(it - cdf.begin(),
+                                 static_cast<std::ptrdiff_t>(cdf.size()) - 1)));
+  }
+  return out;
+}
+
+int Statevector::measure_qubit(int qubit, Prng& rng) {
+  const double p1 = probability_one(qubit);
+  const int outcome = rng.bernoulli(p1) ? 1 : 0;
+  const std::size_t stride = std::size_t{1} << (n_qubits_ - 1 - qubit);
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    const bool bit = (i & stride) != 0;
+    if (bit != (outcome == 1)) amps_[i] = cplx{0.0, 0.0};
+  }
+  normalize();
+  return outcome;
+}
+
+double Statevector::norm_squared() const {
+  double s = 0.0;
+  for (const auto& a : amps_) s += std::norm(a);
+  return s;
+}
+
+double Statevector::norm() const { return std::sqrt(norm_squared()); }
+
+void Statevector::normalize() {
+  const double n = norm();
+  if (n < 1e-300) throw std::runtime_error("Statevector::normalize: zero norm");
+  const double inv = 1.0 / n;
+  for (auto& a : amps_) a *= inv;
+}
+
+double Statevector::fidelity(const Statevector& other) const {
+  if (other.dim() != dim())
+    throw std::invalid_argument("fidelity: dim mismatch");
+  cplx ip{0.0, 0.0};
+  for (std::size_t i = 0; i < amps_.size(); ++i)
+    ip += std::conj(other.amps_[i]) * amps_[i];
+  return std::norm(ip);
+}
+
+}  // namespace qoc::sim

@@ -1,0 +1,95 @@
+#include "qoc/train/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qoc::train {
+
+namespace {
+
+void check_sizes(const std::vector<double>& theta,
+                 std::span<const double> grad,
+                 const std::vector<bool>* mask) {
+  if (grad.size() != theta.size())
+    throw std::invalid_argument("Optimizer::step: grad size mismatch");
+  if (mask && mask->size() != theta.size())
+    throw std::invalid_argument("Optimizer::step: mask size mismatch");
+}
+
+bool active(const std::vector<bool>* mask, std::size_t i) {
+  return mask == nullptr || (*mask)[i];
+}
+
+}  // namespace
+
+void Sgd::do_step(std::vector<double>& theta, std::span<const double> grad,
+               const std::vector<bool>* mask) {
+  check_sizes(theta, grad, mask);
+  for (std::size_t i = 0; i < theta.size(); ++i)
+    if (active(mask, i)) theta[i] -= lr_ * grad[i];
+}
+
+void Momentum::do_step(std::vector<double>& theta, std::span<const double> grad,
+                    const std::vector<bool>* mask) {
+  check_sizes(theta, grad, mask);
+  if (velocity_.size() != theta.size()) velocity_.assign(theta.size(), 0.0);
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    if (!active(mask, i)) continue;
+    velocity_[i] = momentum_ * velocity_[i] + grad[i];
+    theta[i] -= lr_ * velocity_[i];
+  }
+}
+
+void Adam::do_step(std::vector<double>& theta, std::span<const double> grad,
+                const std::vector<bool>* mask) {
+  check_sizes(theta, grad, mask);
+  if (m_.size() != theta.size()) {
+    m_.assign(theta.size(), 0.0);
+    v_.assign(theta.size(), 0.0);
+    t_.assign(theta.size(), 0);
+  }
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    if (!active(mask, i)) continue;
+    ++t_[i];
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grad[i] * grad[i];
+    const double m_hat = m_[i] / (1.0 - std::pow(beta1_, t_[i]));
+    const double v_hat = v_[i] / (1.0 - std::pow(beta2_, t_[i]));
+    theta[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+  }
+}
+
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind, double lr) {
+  switch (kind) {
+    case OptimizerKind::Sgd: return std::make_unique<Sgd>(lr);
+    case OptimizerKind::Momentum: return std::make_unique<Momentum>(lr);
+    case OptimizerKind::Adam: return std::make_unique<Adam>(lr);
+  }
+  throw std::logic_error("make_optimizer: unknown kind");
+}
+
+std::string optimizer_name(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::Sgd: return "sgd";
+    case OptimizerKind::Momentum: return "momentum";
+    case OptimizerKind::Adam: return "adam";
+  }
+  return "?";
+}
+
+CosineScheduler::CosineScheduler(double lr_start, double lr_end,
+                                 int total_steps)
+    : lr_start_(lr_start), lr_end_(lr_end), total_steps_(total_steps) {
+  if (total_steps < 1)
+    throw std::invalid_argument("CosineScheduler: total_steps < 1");
+}
+
+double CosineScheduler::at(int step) const {
+  if (step < 0) step = 0;
+  if (step > total_steps_) step = total_steps_;
+  const double frac = static_cast<double>(step) / total_steps_;
+  return lr_end_ +
+         0.5 * (lr_start_ - lr_end_) * (1.0 + std::cos(3.14159265358979 * frac));
+}
+
+}  // namespace qoc::train

@@ -1,0 +1,161 @@
+#include "qoc/train/param_shift.hpp"
+
+#include <stdexcept>
+
+#include "qoc/autodiff/loss.hpp"
+#include "qoc/common/parallel.hpp"
+
+namespace qoc::train {
+
+namespace {
+constexpr double kHalfPi = 1.5707963267948966;
+}
+
+circuit::Circuit with_op_offset(const circuit::Circuit& c,
+                                std::size_t op_index, double delta) {
+  if (op_index >= c.num_ops())
+    throw std::out_of_range("with_op_offset: op index");
+  circuit::Circuit out(c.num_qubits());
+  for (std::size_t i = 0; i < c.num_ops(); ++i) {
+    const auto& op = c.op(i);
+    circuit::ParamRef p = op.param;
+    if (i == op_index) {
+      if (!circuit::gate_is_parameterised(op.kind))
+        throw std::invalid_argument("with_op_offset: op not parameterised");
+      p.value += delta;
+    }
+    out.add(op.kind, op.qubits, p);
+  }
+  return out;
+}
+
+ParameterShiftEngine::ParameterShiftEngine(backend::Backend& backend,
+                                           const qml::QnnModel& model)
+    : backend_(backend), model_(model) {
+  const int n = model_.num_params();
+  param_ops_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    param_ops_[static_cast<std::size_t>(i)] = model_.circuit().ops_for_param(i);
+    for (std::size_t op_idx : param_ops_[static_cast<std::size_t>(i)]) {
+      const auto& op = model_.circuit().op(op_idx);
+      if (!circuit::gate_supports_parameter_shift(op.kind))
+        throw std::invalid_argument(
+            "ParameterShiftEngine: gate '" + circuit::gate_name(op.kind) +
+            "' does not satisfy the +-1-eigenvalue parameter-shift rule");
+    }
+  }
+}
+
+std::vector<double> ParameterShiftEngine::param_gradient(
+    std::span<const double> theta, std::span<const double> input,
+    int param_index) {
+  const auto& ops = param_ops_[static_cast<std::size_t>(param_index)];
+  std::vector<double> grad(
+      static_cast<std::size_t>(model_.circuit().num_qubits()), 0.0);
+  for (std::size_t op_idx : ops) {
+    // Eq. 2: shift this occurrence by +-pi/2 and take half the difference.
+    const auto plus_circuit = with_op_offset(model_.circuit(), op_idx, kHalfPi);
+    const auto minus_circuit =
+        with_op_offset(model_.circuit(), op_idx, -kHalfPi);
+    const auto f_plus = backend_.run(plus_circuit, theta, input);
+    const auto f_minus = backend_.run(minus_circuit, theta, input);
+    for (std::size_t q = 0; q < grad.size(); ++q)
+      grad[q] += 0.5 * (f_plus[q] - f_minus[q]);
+  }
+  return grad;
+}
+
+std::vector<std::vector<double>> ParameterShiftEngine::jacobian(
+    std::span<const double> theta, std::span<const double> input) {
+  const int n_qubits = model_.circuit().num_qubits();
+  const int n_params = model_.num_params();
+  std::vector<std::vector<double>> jac(
+      static_cast<std::size_t>(n_qubits),
+      std::vector<double>(static_cast<std::size_t>(n_params), 0.0));
+  for (int i = 0; i < n_params; ++i) {
+    const auto dfi = param_gradient(theta, input, i);
+    for (int q = 0; q < n_qubits; ++q)
+      jac[static_cast<std::size_t>(q)][static_cast<std::size_t>(i)] =
+          dfi[static_cast<std::size_t>(q)];
+  }
+  return jac;
+}
+
+BatchGradient ParameterShiftEngine::batch_gradient(
+    std::span<const double> theta, const data::Dataset& dataset,
+    std::span<const std::size_t> batch, const std::vector<bool>* mask) {
+  const int n_params = model_.num_params();
+  if (mask && static_cast<int>(mask->size()) != n_params)
+    throw std::invalid_argument("batch_gradient: mask size mismatch");
+  if (batch.empty())
+    throw std::invalid_argument("batch_gradient: empty batch");
+
+  BatchGradient out;
+  out.grad.assign(static_cast<std::size_t>(n_params), 0.0);
+  const std::uint64_t inf_before = backend_.inference_count();
+
+  for (const std::size_t idx : batch)
+    if (idx >= dataset.size())
+      throw std::out_of_range("batch_gradient: batch index");
+
+  // Per-example work is independent; results are accumulated afterwards
+  // in batch order so the floating-point sum is thread-count invariant.
+  std::vector<double> losses(batch.size(), 0.0);
+  std::vector<std::vector<double>> grads(
+      batch.size(), std::vector<double>(static_cast<std::size_t>(n_params),
+                                        0.0));
+  auto example_gradient = [&](std::size_t k) {
+    const std::size_t idx = batch[k];
+    const auto& x = dataset.features[idx];
+    const int y = dataset.labels[idx];
+
+    // Unshifted run: loss + downstream gradients dL/df (Fig. 4, right).
+    const auto expvals = backend_.run(model_.circuit(), theta, x);
+    const auto logits = model_.head().forward(expvals);
+    losses[k] = autodiff::cross_entropy(logits, y);
+    const auto grad_logits = autodiff::cross_entropy_grad(logits, y);
+    const auto grad_f = model_.head().backward(grad_logits);
+
+    // Upstream Jacobian via parameter shift, masked (Fig. 4, left), then
+    // the dot product dL/dtheta_i = sum_q dL/df_q * df_q/dtheta_i.
+    for (int i = 0; i < n_params; ++i) {
+      if (mask && !(*mask)[static_cast<std::size_t>(i)]) continue;
+      const auto dfi = param_gradient(theta, x, i);
+      double dot = 0.0;
+      for (std::size_t q = 0; q < dfi.size(); ++q) dot += grad_f[q] * dfi[q];
+      grads[k][static_cast<std::size_t>(i)] = dot;
+    }
+  };
+  if (threads_ == 1) {
+    for (std::size_t k = 0; k < batch.size(); ++k) example_gradient(k);
+  } else {
+    parallel_for(0, batch.size(), example_gradient, threads_);
+  }
+
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    out.loss += losses[k];
+    for (std::size_t i = 0; i < out.grad.size(); ++i)
+      out.grad[i] += grads[k][i];
+  }
+  const double inv = 1.0 / static_cast<double>(batch.size());
+  for (auto& g : out.grad) g *= inv;
+  out.loss *= inv;
+  out.inferences = backend_.inference_count() - inf_before;
+  return out;
+}
+
+double ParameterShiftEngine::batch_loss(std::span<const double> theta,
+                                        const data::Dataset& dataset,
+                                        std::span<const std::size_t> batch) {
+  if (batch.empty()) throw std::invalid_argument("batch_loss: empty batch");
+  double loss = 0.0;
+  for (const std::size_t idx : batch) {
+    const auto expvals = backend_.run(model_.circuit(), theta,
+                                      dataset.features[idx]);
+    const auto logits = model_.head().forward(expvals);
+    loss += autodiff::cross_entropy(logits, dataset.labels[idx]);
+  }
+  return loss / static_cast<double>(batch.size());
+}
+
+}  // namespace qoc::train

@@ -1,0 +1,97 @@
+#include "qoc/transpile/optimize.hpp"
+
+#include <cmath>
+
+namespace qoc::transpile {
+
+using circuit::GateKind;
+
+namespace {
+
+bool rz_angle_is_zero(double a) {
+  const double two_pi = 2.0 * linalg::kPi;
+  double m = std::fmod(a, two_pi);
+  if (m < 0) m += two_pi;
+  return m < 1e-12 || two_pi - m < 1e-12;
+}
+
+}  // namespace
+
+std::vector<BoundOp> merge_rz(const std::vector<BoundOp>& ops) {
+  std::vector<BoundOp> out;
+  out.reserve(ops.size());
+  for (const auto& op : ops) {
+    if (op.kind == GateKind::Rz && !out.empty()) {
+      // Walk back past ops on other qubits? No -- only merge if the
+      // immediately preceding op on this qubit's timeline is also RZ.
+      // Scan back while intervening ops do not touch this qubit.
+      const int q = op.qubits[0];
+      bool merged = false;
+      for (auto it = out.rbegin(); it != out.rend(); ++it) {
+        bool touches = false;
+        for (const int oq : it->qubits)
+          if (oq == q) touches = true;
+        if (!touches) continue;
+        if (it->kind == GateKind::Rz) {
+          it->angle += op.angle;
+          merged = true;
+        }
+        break;
+      }
+      if (merged) continue;
+    }
+    out.push_back(op);
+  }
+  // Drop zero rotations.
+  std::vector<BoundOp> cleaned;
+  cleaned.reserve(out.size());
+  for (const auto& op : out)
+    if (!(op.kind == GateKind::Rz && rz_angle_is_zero(op.angle)))
+      cleaned.push_back(op);
+  return cleaned;
+}
+
+std::vector<BoundOp> cancel_cx(const std::vector<BoundOp>& ops) {
+  std::vector<BoundOp> out = ops;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].kind != GateKind::Cx) continue;
+      const int control = out[i].qubits[0];
+      const int target = out[i].qubits[1];
+      // Scan forward for the partner CX; RZ on the control commutes.
+      for (std::size_t j = i + 1; j < out.size(); ++j) {
+        const auto& next = out[j];
+        if (next.kind == GateKind::Cx && next.qubits[0] == control &&
+            next.qubits[1] == target) {
+          out.erase(out.begin() + static_cast<std::ptrdiff_t>(j));
+          out.erase(out.begin() + static_cast<std::ptrdiff_t>(i));
+          changed = true;
+          break;
+        }
+        // RZ on the control commutes with CX (both diagonal on control).
+        if (next.kind == GateKind::Rz && next.qubits[0] == control) continue;
+        // Anything else touching either qubit blocks cancellation.
+        bool blocks = false;
+        for (const int q : next.qubits)
+          if (q == control || q == target) blocks = true;
+        if (blocks) break;
+      }
+      if (changed) break;
+    }
+  }
+  return out;
+}
+
+std::vector<BoundOp> optimize(const std::vector<BoundOp>& ops) {
+  std::vector<BoundOp> cur = ops;
+  for (;;) {
+    const std::size_t before = cur.size();
+    cur = merge_rz(cur);
+    cur = cancel_cx(cur);
+    if (cur.size() >= before) return cur;
+  }
+}
+
+}  // namespace qoc::transpile

@@ -1,0 +1,199 @@
+#include "qoc/vqe/vqe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "qoc/circuit/layers.hpp"
+#include "qoc/sim/gates.hpp"
+#include "qoc/train/param_shift.hpp"
+
+namespace qoc::vqe {
+
+namespace {
+constexpr double kHalfPi = 1.5707963267948966;
+}
+
+EnergyEstimator::EnergyEstimator(Hamiltonian hamiltonian,
+                                 EstimatorOptions options)
+    : hamiltonian_(std::move(hamiltonian)), options_(options),
+      rng_(options.seed) {
+  if (options_.shots < 0)
+    throw std::invalid_argument("EnergyEstimator: shots < 0");
+  if (options_.gate_noise < 0.0 || options_.gate_noise > 1.0)
+    throw std::invalid_argument("EnergyEstimator: gate_noise out of [0,1]");
+}
+
+sim::Statevector EnergyEstimator::prepare(const circuit::Circuit& ansatz,
+                                          std::span<const double> theta,
+                                          Prng& rng) {
+  sim::Statevector sv(ansatz.num_qubits());
+  for (const auto& op : ansatz.ops()) {
+    const double angle = circuit::resolve_angle(op.param, theta, {});
+    sv.apply_matrix(circuit::gate_matrix(op.kind, angle), op.qubits);
+    if (options_.gate_noise > 0.0) {
+      // One depolarizing event per touched qubit per gate.
+      for (const int q : op.qubits) {
+        const double u = rng.uniform();
+        if (u < 0.75 * options_.gate_noise) {
+          const int which = static_cast<int>(u / (0.25 * options_.gate_noise));
+          if (which == 0) sv.apply_pauli_x(q);
+          else if (which == 1) sv.apply_pauli_y(q);
+          else sv.apply_pauli_z(q);
+        }
+      }
+    }
+  }
+  return sv;
+}
+
+double EnergyEstimator::energy(const circuit::Circuit& ansatz,
+                               std::span<const double> theta) {
+  if (ansatz.num_qubits() != hamiltonian_.num_qubits())
+    throw std::invalid_argument("EnergyEstimator: qubit count mismatch");
+
+  if (options_.shots == 0 && options_.gate_noise == 0.0) {
+    // Exact path: one state preparation, all terms analytically.
+    Prng rng = rng_.split();
+    const sim::Statevector psi = prepare(ansatz, theta, rng);
+    ++executions_;
+    return hamiltonian_.expectation(psi);
+  }
+
+  // Sampled path: one execution per term (distinct measurement basis).
+  double total = 0.0;
+  for (const auto& term : hamiltonian_.terms()) {
+    bool is_identity = true;
+    for (const char c : term.paulis)
+      if (c != 'I') is_identity = false;
+    if (is_identity) {
+      total += term.coeff;
+      continue;
+    }
+    Prng rng = rng_.split();
+    sim::Statevector psi = prepare(ansatz, theta, rng);
+    ++executions_;
+
+    // Basis change: X -> H, Y -> Sdg then H, so measuring Z gives the term.
+    for (int q = 0; q < hamiltonian_.num_qubits(); ++q) {
+      const char c = term.paulis[static_cast<std::size_t>(q)];
+      if (c == 'X') {
+        psi.apply_1q(sim::gate_h(), q);
+      } else if (c == 'Y') {
+        psi.apply_1q(sim::gate_sdg(), q);
+        psi.apply_1q(sim::gate_h(), q);
+      }
+    }
+    if (options_.shots == 0) {
+      // Noise without shot sampling: exact Z-product expectation.
+      PauliTerm zterm = term;
+      for (auto& c : zterm.paulis)
+        if (c != 'I') c = 'Z';
+      total += term.coeff * hamiltonian_.term_expectation(psi, zterm);
+      continue;
+    }
+
+    const int n = hamiltonian_.num_qubits();
+    const auto samples = psi.sample(options_.shots, rng);
+    double parity_sum = 0.0;
+    for (const auto s : samples) {
+      int parity = 0;
+      for (int q = 0; q < n; ++q) {
+        if (term.paulis[static_cast<std::size_t>(q)] == 'I') continue;
+        parity ^= static_cast<int>((s >> (n - 1 - q)) & 1ULL);
+      }
+      parity_sum += parity ? -1.0 : 1.0;
+    }
+    total += term.coeff * parity_sum / options_.shots;
+  }
+  return total;
+}
+
+VqeSolver::VqeSolver(EnergyEstimator estimator, circuit::Circuit ansatz,
+                     VqeConfig config)
+    : estimator_(std::move(estimator)), ansatz_(std::move(ansatz)),
+      config_(config) {
+  if (config_.steps < 1) throw std::invalid_argument("VqeSolver: steps < 1");
+  if (ansatz_.num_trainable() < 1)
+    throw std::invalid_argument("VqeSolver: ansatz has no parameters");
+  for (int i = 0; i < ansatz_.num_trainable(); ++i)
+    for (const std::size_t op_idx : ansatz_.ops_for_param(i))
+      if (!circuit::gate_supports_parameter_shift(ansatz_.op(op_idx).kind))
+        throw std::invalid_argument(
+            "VqeSolver: ansatz gate does not support the shift rule");
+  if (config_.use_pruning) config_.pruner.validate();
+}
+
+std::vector<double> VqeSolver::gradient(std::span<const double> theta,
+                                        const std::vector<bool>& mask) {
+  const int n = ansatz_.num_trainable();
+  std::vector<double> grad(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    if (!mask[static_cast<std::size_t>(i)]) continue;
+    for (const std::size_t op_idx : ansatz_.ops_for_param(i)) {
+      const auto plus = train::with_op_offset(ansatz_, op_idx, kHalfPi);
+      const auto minus = train::with_op_offset(ansatz_, op_idx, -kHalfPi);
+      grad[static_cast<std::size_t>(i)] +=
+          0.5 * (estimator_.energy(plus, theta) -
+                 estimator_.energy(minus, theta));
+    }
+  }
+  return grad;
+}
+
+VqeResult VqeSolver::run(std::vector<double> theta_init) {
+  Prng rng(config_.seed);
+  const int n = ansatz_.num_trainable();
+  std::vector<double> theta = std::move(theta_init);
+  if (theta.empty()) {
+    theta.resize(static_cast<std::size_t>(n));
+    for (auto& t : theta) t = rng.uniform(-0.5, 0.5);
+  }
+  if (static_cast<int>(theta.size()) != n)
+    throw std::invalid_argument("VqeSolver::run: theta size mismatch");
+
+  auto optimizer = train::make_optimizer(config_.optimizer, config_.lr_start);
+  train::CosineScheduler scheduler(config_.lr_start, config_.lr_end,
+                                   config_.steps);
+  train::PrunerConfig pcfg = config_.pruner;
+  if (!config_.use_pruning) {
+    pcfg = train::PrunerConfig{};
+    pcfg.pruning_window = 0;
+  }
+  train::GradientPruner pruner(n, pcfg, rng());
+
+  VqeResult result;
+  result.best_energy = std::numeric_limits<double>::infinity();
+  for (int step = 1; step <= config_.steps; ++step) {
+    optimizer->set_learning_rate(scheduler.at(step - 1));
+    const auto mask = pruner.next_mask();
+    const auto grad = gradient(theta, mask);
+    pruner.observe(grad);
+    optimizer->step(theta, grad, &mask);
+
+    VqeRecord rec;
+    rec.step = step;
+    rec.energy = estimator_.energy(ansatz_, theta);
+    rec.executions = estimator_.executions();
+    result.best_energy = std::min(result.best_energy, rec.energy);
+    result.history.push_back(rec);
+  }
+  result.energy = result.history.back().energy;
+  result.theta = std::move(theta);
+  result.total_executions = estimator_.executions();
+  return result;
+}
+
+circuit::Circuit VqeSolver::hardware_efficient_ansatz(int n_qubits,
+                                                      int depth) {
+  circuit::Circuit c(n_qubits);
+  for (int d = 0; d < depth; ++d) {
+    circuit::add_ry_layer(c);
+    circuit::add_rz_layer(c);
+    circuit::add_cz_chain_layer(c);
+  }
+  circuit::add_ry_layer(c);  // final rotation layer
+  return c;
+}
+
+}  // namespace qoc::vqe

@@ -1,0 +1,170 @@
+// Tests for the classical loss head: softmax / cross-entropy forward and
+// backward (checked against finite differences) and the measurement heads.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qoc/autodiff/loss.hpp"
+#include "qoc/common/prng.hpp"
+
+namespace {
+
+using namespace qoc::autodiff;
+using qoc::Prng;
+
+TEST(Softmax, SumsToOneAndOrdersPreserved) {
+  const std::vector<double> logits = {1.0, 3.0, 2.0};
+  const auto p = softmax(logits);
+  double sum = 0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(p[1], p[2]);
+  EXPECT_GT(p[2], p[0]);
+}
+
+TEST(Softmax, InvariantToConstantShift) {
+  const std::vector<double> a = {0.5, -1.0, 2.0};
+  std::vector<double> b = a;
+  for (auto& v : b) v += 100.0;
+  const auto pa = softmax(a);
+  const auto pb = softmax(b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(pa[i], pb[i], 1e-12);
+}
+
+TEST(Softmax, StableForExtremeLogits) {
+  const std::vector<double> logits = {1000.0, -1000.0};
+  const auto p = softmax(logits);
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+  EXPECT_NEAR(p[1], 0.0, 1e-12);
+}
+
+TEST(Softmax, EmptyThrows) {
+  EXPECT_THROW(softmax(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(LogSoftmax, MatchesLogOfSoftmax) {
+  const std::vector<double> logits = {0.2, -0.7, 1.4, 0.0};
+  const auto ls = log_softmax(logits);
+  const auto p = softmax(logits);
+  for (std::size_t i = 0; i < logits.size(); ++i)
+    EXPECT_NEAR(ls[i], std::log(p[i]), 1e-10);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogK) {
+  const std::vector<double> logits = {0.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(cross_entropy(logits, 2), std::log(4.0), 1e-12);
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZeroLoss) {
+  const std::vector<double> logits = {50.0, 0.0};
+  EXPECT_NEAR(cross_entropy(logits, 0), 0.0, 1e-12);
+}
+
+TEST(CrossEntropy, BadTargetThrows) {
+  const std::vector<double> logits = {0.1, 0.2};
+  EXPECT_THROW(cross_entropy(logits, 2), std::out_of_range);
+  EXPECT_THROW(cross_entropy(logits, -1), std::out_of_range);
+}
+
+TEST(CrossEntropyGrad, MatchesFiniteDifference) {
+  Prng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> logits(4);
+    for (auto& v : logits) v = rng.normal();
+    const int target = static_cast<int>(rng.uniform_int(4));
+    const auto grad = cross_entropy_grad(logits, target);
+    const double eps = 1e-6;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      auto lp = logits, lm = logits;
+      lp[i] += eps;
+      lm[i] -= eps;
+      const double fd =
+          (cross_entropy(lp, target) - cross_entropy(lm, target)) / (2 * eps);
+      EXPECT_NEAR(grad[i], fd, 1e-6);
+    }
+  }
+}
+
+TEST(CrossEntropyGrad, SumsToZero) {
+  const std::vector<double> logits = {0.3, -0.2, 1.1};
+  const auto grad = cross_entropy_grad(logits, 1);
+  double sum = 0;
+  for (double g : grad) sum += g;
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST(BatchCrossEntropy, AveragesOverBatch) {
+  const std::vector<std::vector<double>> logits = {{10.0, 0.0}, {0.0, 10.0}};
+  const std::vector<int> targets = {0, 0};
+  const double loss = batch_cross_entropy(logits, targets);
+  EXPECT_NEAR(loss, 0.5 * (0.0 + 10.0), 1e-4);
+}
+
+TEST(BatchCrossEntropy, SizeMismatchThrows) {
+  EXPECT_THROW(batch_cross_entropy({{0.0}}, std::vector<int>{0, 1}),
+               std::invalid_argument);
+}
+
+// ---- Measurement heads ---------------------------------------------------------
+
+TEST(MeasurementHead, IdentityPassesThrough) {
+  const auto head = MeasurementHead::identity(4);
+  const std::vector<double> f = {0.1, -0.5, 0.9, 0.0};
+  EXPECT_EQ(head.forward(f), f);
+  const std::vector<double> g = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(head.backward(g), g);
+}
+
+TEST(MeasurementHead, PairSumForwardSumsPairs) {
+  // Paper: "we sum the qubit 0 and 1, 2 and 3 respectively".
+  const auto head = MeasurementHead::pair_sum(4);
+  EXPECT_EQ(head.num_logits(), 2);
+  const std::vector<double> f = {0.1, 0.2, -0.4, 0.6};
+  const auto logits = head.forward(f);
+  EXPECT_NEAR(logits[0], 0.3, 1e-12);
+  EXPECT_NEAR(logits[1], 0.2, 1e-12);
+}
+
+TEST(MeasurementHead, PairSumBackwardBroadcasts) {
+  const auto head = MeasurementHead::pair_sum(4);
+  const std::vector<double> g = {0.7, -0.3};
+  const auto back = head.backward(g);
+  EXPECT_EQ(back, (std::vector<double>{0.7, 0.7, -0.3, -0.3}));
+}
+
+TEST(MeasurementHead, PairSumChainRuleMatchesFiniteDifference) {
+  // L(f) = CE(head(f), target); check dL/df numerically.
+  Prng rng(2);
+  const auto head = MeasurementHead::pair_sum(4);
+  std::vector<double> f(4);
+  for (auto& v : f) v = rng.uniform(-1, 1);
+  const int target = 1;
+
+  const auto logits = head.forward(f);
+  const auto dl_dlogits = cross_entropy_grad(logits, target);
+  const auto dl_df = head.backward(dl_dlogits);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto fp = f, fm = f;
+    fp[i] += eps;
+    fm[i] -= eps;
+    const double fd = (cross_entropy(head.forward(fp), target) -
+                       cross_entropy(head.forward(fm), target)) /
+                      (2 * eps);
+    EXPECT_NEAR(dl_df[i], fd, 1e-6);
+  }
+}
+
+TEST(MeasurementHead, RejectsBadConfigurations) {
+  EXPECT_THROW(MeasurementHead::identity(0), std::invalid_argument);
+  EXPECT_THROW(MeasurementHead::pair_sum(3), std::invalid_argument);
+}
+
+TEST(MeasurementHead, ForwardSizeMismatchThrows) {
+  const auto head = MeasurementHead::identity(4);
+  EXPECT_THROW(head.forward(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+}  // namespace

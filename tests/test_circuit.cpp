@@ -1,0 +1,243 @@
+// Tests for the circuit IR, layer builders and encoders.
+
+#include <gtest/gtest.h>
+
+#include "qoc/circuit/circuit.hpp"
+#include "qoc/circuit/layers.hpp"
+#include "qoc/common/prng.hpp"
+#include "qoc/linalg/matrix.hpp"
+#include "qoc/sim/gates.hpp"
+
+namespace {
+
+using namespace qoc::circuit;
+using qoc::Prng;
+using qoc::linalg::approx_equal;
+using qoc::linalg::is_unitary;
+using qoc::linalg::kPi;
+using qoc::linalg::Matrix;
+
+TEST(GateMeta, ArityMatchesKind) {
+  EXPECT_EQ(gate_arity(GateKind::Rx), 1);
+  EXPECT_EQ(gate_arity(GateKind::H), 1);
+  EXPECT_EQ(gate_arity(GateKind::Cx), 2);
+  EXPECT_EQ(gate_arity(GateKind::Rzz), 2);
+}
+
+TEST(GateMeta, ParameterShiftSupport) {
+  EXPECT_TRUE(gate_supports_parameter_shift(GateKind::Rx));
+  EXPECT_TRUE(gate_supports_parameter_shift(GateKind::Rzz));
+  EXPECT_TRUE(gate_supports_parameter_shift(GateKind::Rzx));
+  EXPECT_FALSE(gate_supports_parameter_shift(GateKind::Cx));
+  // Phase gate generator has eigenvalues {0, 1}, not {+1, -1}.
+  EXPECT_FALSE(gate_supports_parameter_shift(GateKind::Phase));
+}
+
+TEST(GateMeta, MatrixDispatchMatchesSimGates) {
+  EXPECT_TRUE(approx_equal(gate_matrix(GateKind::H), qoc::sim::gate_h(), 0.0));
+  EXPECT_TRUE(
+      approx_equal(gate_matrix(GateKind::Rx, 0.7), qoc::sim::gate_rx(0.7), 0.0));
+  EXPECT_TRUE(approx_equal(gate_matrix(GateKind::Rzz, -1.2),
+                           qoc::sim::gate_rzz(-1.2), 0.0));
+}
+
+TEST(ParamRefResolution, AllSources) {
+  const std::vector<double> theta = {0.5, -0.25};
+  const std::vector<double> input = {2.0};
+  EXPECT_EQ(resolve_angle(ParamRef::constant(1.5), theta, input), 1.5);
+  EXPECT_EQ(resolve_angle(ParamRef::trainable(1), theta, input), -0.25);
+  EXPECT_EQ(resolve_angle(ParamRef::input(0, 0.5, 0.1), theta, input), 1.1);
+  EXPECT_EQ(resolve_angle(ParamRef::none(), theta, input), 0.0);
+}
+
+TEST(ParamRefResolution, OutOfRangeThrows) {
+  const std::vector<double> theta = {0.5};
+  const std::vector<double> input = {};
+  EXPECT_THROW(resolve_angle(ParamRef::trainable(3), theta, input),
+               std::out_of_range);
+  EXPECT_THROW(resolve_angle(ParamRef::input(0), theta, input),
+               std::out_of_range);
+}
+
+TEST(CircuitBuilder, RejectsBadQubits) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), std::out_of_range);
+  EXPECT_THROW(c.cx(0, 0), std::invalid_argument);
+}
+
+TEST(CircuitBuilder, RejectsMissingOrSpuriousParams) {
+  Circuit c(2);
+  EXPECT_THROW(c.add(GateKind::Rx, {0}), std::invalid_argument);
+  EXPECT_THROW(c.add(GateKind::H, {0}, ParamRef::constant(1.0)),
+               std::invalid_argument);
+}
+
+TEST(CircuitBuilder, TracksTrainableAndInputCounts) {
+  Circuit c(2);
+  c.rx(0, ParamRef::trainable(0));
+  c.ry(1, ParamRef::trainable(1));
+  c.rz(0, ParamRef::input(4));
+  EXPECT_EQ(c.num_trainable(), 2);
+  EXPECT_EQ(c.num_inputs(), 5);  // max index + 1
+}
+
+TEST(CircuitBuilder, OpsForParamFindsSharedParameters) {
+  Circuit c(2);
+  c.rx(0, ParamRef::trainable(0));
+  c.ry(1, ParamRef::trainable(0));  // same parameter in two gates
+  c.rz(0, ParamRef::trainable(1));
+  const auto ops = c.ops_for_param(0);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0], 0u);
+  EXPECT_EQ(ops[1], 1u);
+}
+
+TEST(CircuitBuilder, AppendConcatenatesOps) {
+  Circuit a(2), b(2);
+  a.h(0);
+  b.cx(0, 1);
+  a.append(b);
+  EXPECT_EQ(a.num_ops(), 2u);
+  EXPECT_EQ(a.op(1).kind, GateKind::Cx);
+}
+
+TEST(CircuitBuilder, DepthComputation) {
+  Circuit c(3);
+  c.h(0);     // depth 1 on q0
+  c.h(1);     // depth 1 on q1
+  c.cx(0, 1); // depth 2
+  c.h(2);     // depth 1 on q2
+  c.cx(1, 2); // depth 3
+  EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(CircuitUnitary, MatchesKronForSimpleCircuit) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  const Matrix u = c.unitary({}, {});
+  const Matrix expect =
+      qoc::sim::gate_cx() *
+      qoc::linalg::kron(qoc::sim::gate_h(), qoc::sim::gate_i());
+  EXPECT_TRUE(approx_equal(u, expect, 1e-12));
+}
+
+TEST(CircuitUnitary, IsUnitaryForRandomCircuits) {
+  Prng rng(1);
+  Circuit c(3);
+  for (int i = 0; i < 5; ++i) {
+    c.rx(static_cast<int>(rng.uniform_int(3)), ParamRef::trainable(c.new_trainable()));
+    c.rzz(0, 1 + static_cast<int>(rng.uniform_int(2)),
+          ParamRef::trainable(c.new_trainable()));
+  }
+  std::vector<double> theta(static_cast<std::size_t>(c.num_trainable()));
+  for (auto& t : theta) t = rng.uniform(-3, 3);
+  EXPECT_TRUE(is_unitary(c.unitary(theta, {}), 1e-9));
+}
+
+// ---- Layers -----------------------------------------------------------------
+
+TEST(Layers, RotationLayerAddsOneGatePerWire) {
+  Circuit c(4);
+  add_rx_layer(c);
+  EXPECT_EQ(c.num_ops(), 4u);
+  EXPECT_EQ(c.num_trainable(), 4);
+  for (const auto& op : c.ops()) EXPECT_EQ(op.kind, GateKind::Rx);
+}
+
+TEST(Layers, RzzRingLayerFormsRingOn4Qubits) {
+  // Paper: "an RZZ layer in a 4-qubit circuit contains 4 RZZ gates which
+  // lie on wires 1-2, 2-3, 3-4, 4-1".
+  Circuit c(4);
+  add_rzz_ring_layer(c);
+  ASSERT_EQ(c.num_ops(), 4u);
+  EXPECT_EQ(c.op(0).qubits, (std::vector<int>{0, 1}));
+  EXPECT_EQ(c.op(1).qubits, (std::vector<int>{1, 2}));
+  EXPECT_EQ(c.op(2).qubits, (std::vector<int>{2, 3}));
+  EXPECT_EQ(c.op(3).qubits, (std::vector<int>{3, 0}));
+  EXPECT_EQ(c.num_trainable(), 4);
+}
+
+TEST(Layers, RingOnTwoQubitsHasSingleGate) {
+  Circuit c(2);
+  add_rxx_ring_layer(c);
+  EXPECT_EQ(c.num_ops(), 1u);
+}
+
+TEST(Layers, CzChainLayerHasNMinus1Gates) {
+  Circuit c(4);
+  add_cz_chain_layer(c);
+  EXPECT_EQ(c.num_ops(), 3u);
+  EXPECT_EQ(c.num_trainable(), 0);
+}
+
+TEST(Encoders, ImageEncoderUses16InputsInRyRzRxRyOrder) {
+  Circuit c(4);
+  add_image_encoder_16(c);
+  ASSERT_EQ(c.num_ops(), 16u);
+  EXPECT_EQ(c.num_inputs(), 16);
+  EXPECT_EQ(c.num_trainable(), 0);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(c.op(i).kind, GateKind::Ry);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(c.op(i).kind, GateKind::Rz);
+  for (int i = 8; i < 12; ++i) EXPECT_EQ(c.op(i).kind, GateKind::Rx);
+  for (int i = 12; i < 16; ++i) EXPECT_EQ(c.op(i).kind, GateKind::Ry);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(c.op(i).param.source, ParamRef::Source::Input);
+    EXPECT_EQ(c.op(i).param.index, i);
+  }
+}
+
+TEST(Encoders, VowelEncoderUses10Inputs) {
+  Circuit c(4);
+  add_vowel_encoder_10(c);
+  EXPECT_EQ(c.num_ops(), 10u);
+  EXPECT_EQ(c.num_inputs(), 10);
+}
+
+TEST(Encoders, EncoderRequires4Qubits) {
+  Circuit c(3);
+  EXPECT_THROW(add_image_encoder_16(c), std::invalid_argument);
+}
+
+TEST(Encoders, GenericRotationEncoderConsumesAllFeatures) {
+  Circuit c(3);
+  add_rotation_encoder(c, 8);
+  EXPECT_EQ(c.num_ops(), 8u);
+  EXPECT_EQ(c.num_inputs(), 8);
+}
+
+TEST(CircuitToString, MentionsGatesAndParams) {
+  Circuit c(2);
+  c.h(0);
+  c.rx(1, ParamRef::trainable(0));
+  const auto s = c.to_string();
+  EXPECT_NE(s.find("h q0"), std::string::npos);
+  EXPECT_NE(s.find("theta[0]"), std::string::npos);
+}
+
+// ---- Parameterized: every 2-qubit rotation layer kind -----------------------
+
+using LayerFn = void (*)(Circuit&);
+class RingLayerSweep
+    : public ::testing::TestWithParam<std::pair<LayerFn, GateKind>> {};
+
+TEST_P(RingLayerSweep, StructureAndUnitarity) {
+  const auto [fn, kind] = GetParam();
+  Circuit c(4);
+  fn(c);
+  ASSERT_EQ(c.num_ops(), 4u);
+  for (const auto& op : c.ops()) EXPECT_EQ(op.kind, kind);
+  std::vector<double> theta(4, 0.9);
+  EXPECT_TRUE(is_unitary(c.unitary(theta, {}), 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rings, RingLayerSweep,
+    ::testing::Values(std::pair<LayerFn, GateKind>{add_rzz_ring_layer,
+                                                   GateKind::Rzz},
+                      std::pair<LayerFn, GateKind>{add_rxx_ring_layer,
+                                                   GateKind::Rxx},
+                      std::pair<LayerFn, GateKind>{add_rzx_ring_layer,
+                                                   GateKind::Rzx}));
+
+}  // namespace

@@ -1,0 +1,314 @@
+// Unit + property tests for qoc::linalg (Matrix, kron, eigen).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qoc/common/prng.hpp"
+#include "qoc/linalg/eigen.hpp"
+#include "qoc/linalg/matrix.hpp"
+
+namespace {
+
+using qoc::Prng;
+using qoc::linalg::approx_equal;
+using qoc::linalg::cplx;
+using qoc::linalg::equal_up_to_global_phase;
+using qoc::linalg::is_hermitian;
+using qoc::linalg::is_unitary;
+using qoc::linalg::kI;
+using qoc::linalg::kPi;
+using qoc::linalg::kron;
+using qoc::linalg::kron_all;
+using qoc::linalg::Matrix;
+using qoc::linalg::max_abs_diff;
+using qoc::linalg::sym_eigen;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Prng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      m(r, c) = cplx{rng.normal(), rng.normal()};
+  return m;
+}
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  const Matrix id = Matrix::identity(4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_EQ(id(r, c), (r == c ? cplx{1.0, 0.0} : cplx{0.0, 0.0}));
+}
+
+TEST(Matrix, InitializerListRejectsRagged) {
+  EXPECT_THROW((Matrix{{1, 0}, {0}}), std::invalid_argument);
+}
+
+TEST(Matrix, AdditionAndSubtractionRoundTrip) {
+  Prng rng(1);
+  const Matrix a = random_matrix(3, 3, rng);
+  const Matrix b = random_matrix(3, 3, rng);
+  EXPECT_TRUE(approx_equal((a + b) - b, a, 1e-12));
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(3, 3);
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(b * Matrix(2, 2), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplicationMatchesHandComputation) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix expect{{19, 22}, {43, 50}};
+  EXPECT_TRUE(approx_equal(a * b, expect, 1e-12));
+}
+
+TEST(Matrix, MultiplicationIsAssociative) {
+  Prng rng(2);
+  const Matrix a = random_matrix(3, 4, rng);
+  const Matrix b = random_matrix(4, 2, rng);
+  const Matrix c = random_matrix(2, 5, rng);
+  EXPECT_TRUE(approx_equal((a * b) * c, a * (b * c), 1e-9));
+}
+
+TEST(Matrix, AdjointIsConjugateTranspose) {
+  const Matrix m{{cplx{1, 2}, cplx{3, -1}}, {cplx{0, 1}, cplx{2, 0}}};
+  const Matrix adj = m.adjoint();
+  EXPECT_EQ(adj(0, 0), (cplx{1, -2}));
+  EXPECT_EQ(adj(0, 1), (cplx{0, -1}));
+  EXPECT_EQ(adj(1, 0), (cplx{3, 1}));
+}
+
+TEST(Matrix, AdjointOfProductReversesOrder) {
+  Prng rng(3);
+  const Matrix a = random_matrix(3, 3, rng);
+  const Matrix b = random_matrix(3, 3, rng);
+  EXPECT_TRUE(approx_equal((a * b).adjoint(), b.adjoint() * a.adjoint(), 1e-9));
+}
+
+TEST(Matrix, TraceIsCyclic) {
+  Prng rng(4);
+  const Matrix a = random_matrix(3, 3, rng);
+  const Matrix b = random_matrix(3, 3, rng);
+  const cplx t1 = (a * b).trace();
+  const cplx t2 = (b * a).trace();
+  EXPECT_NEAR(t1.real(), t2.real(), 1e-10);
+  EXPECT_NEAR(t1.imag(), t2.imag(), 1e-10);
+}
+
+TEST(Matrix, ApplyMatchesMatrixProduct) {
+  Prng rng(5);
+  const Matrix a = random_matrix(4, 4, rng);
+  std::vector<cplx> v(4);
+  for (auto& x : v) x = cplx{rng.normal(), rng.normal()};
+  const auto out = a.apply(v);
+  for (std::size_t r = 0; r < 4; ++r) {
+    cplx expect{0, 0};
+    for (std::size_t c = 0; c < 4; ++c) expect += a(r, c) * v[c];
+    EXPECT_NEAR(std::abs(out[r] - expect), 0.0, 1e-12);
+  }
+}
+
+TEST(Kron, DimensionsMultiply) {
+  const Matrix a(2, 3);
+  const Matrix b(4, 5);
+  const Matrix k = kron(a, b);
+  EXPECT_EQ(k.rows(), 8u);
+  EXPECT_EQ(k.cols(), 15u);
+}
+
+TEST(Kron, MatchesDefinition) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{0, 1}, {1, 0}};
+  const Matrix k = kron(a, b);
+  EXPECT_EQ(k(0, 1), (cplx{1, 0}));
+  EXPECT_EQ(k(0, 3), (cplx{2, 0}));
+  EXPECT_EQ(k(3, 0), (cplx{3, 0}));
+  EXPECT_EQ(k(2, 1), (cplx{3, 0}));
+}
+
+TEST(Kron, MixedProductProperty) {
+  // (A kron B)(C kron D) = (AC) kron (BD)
+  Prng rng(6);
+  const Matrix a = random_matrix(2, 2, rng);
+  const Matrix b = random_matrix(2, 2, rng);
+  const Matrix c = random_matrix(2, 2, rng);
+  const Matrix d = random_matrix(2, 2, rng);
+  EXPECT_TRUE(approx_equal(kron(a, b) * kron(c, d), kron(a * c, b * d), 1e-9));
+}
+
+TEST(Kron, KronAllOfEmptyIsScalarOne) {
+  const Matrix k = kron_all({});
+  EXPECT_EQ(k.rows(), 1u);
+  EXPECT_EQ(k(0, 0), (cplx{1, 0}));
+}
+
+TEST(UnitarityChecks, DetectUnitaryAndNonUnitary) {
+  const double s = 1.0 / std::sqrt(2.0);
+  const Matrix h{{s, s}, {s, -s}};
+  EXPECT_TRUE(is_unitary(h));
+  const Matrix bad{{1, 1}, {0, 1}};
+  EXPECT_FALSE(is_unitary(bad));
+}
+
+TEST(HermitianCheck, DetectsHermitian) {
+  const Matrix m{{2, cplx{1, 1}}, {cplx{1, -1}, 3}};
+  EXPECT_TRUE(is_hermitian(m));
+  const Matrix n{{2, cplx{1, 1}}, {cplx{1, 1}, 3}};
+  EXPECT_FALSE(is_hermitian(n));
+}
+
+TEST(GlobalPhase, EqualUpToPhaseAcceptsPhaseAndRejectsDifferent) {
+  Prng rng(7);
+  Matrix u{{1, 0}, {0, 1}};
+  const cplx phase = std::exp(kI * 0.7);
+  EXPECT_TRUE(equal_up_to_global_phase(u * phase, u));
+  const Matrix x{{0, 1}, {1, 0}};
+  EXPECT_FALSE(equal_up_to_global_phase(u, x));
+}
+
+TEST(MaxAbsDiff, InfinityOnShapeMismatch) {
+  EXPECT_TRUE(std::isinf(max_abs_diff(Matrix(2, 2), Matrix(3, 3))));
+}
+
+// ---- Eigen decomposition ---------------------------------------------------
+
+TEST(SymEigen, DiagonalMatrix) {
+  const std::vector<double> a = {3, 0, 0, 0, 1, 0, 0, 0, 2};
+  const auto res = sym_eigen(a, 3);
+  ASSERT_EQ(res.values.size(), 3u);
+  EXPECT_NEAR(res.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(res.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(res.values[2], 1.0, 1e-10);
+}
+
+TEST(SymEigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  const std::vector<double> a = {2, 1, 1, 2};
+  const auto res = sym_eigen(a, 2);
+  EXPECT_NEAR(res.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(res.values[1], 1.0, 1e-10);
+}
+
+TEST(SymEigen, ReconstructsMatrix) {
+  Prng rng(8);
+  const std::size_t n = 6;
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      a[i * n + j] = rng.normal();
+      a[j * n + i] = a[i * n + j];
+    }
+  const auto res = sym_eigen(a, n);
+  // A == sum_k w_k v_k v_k^T
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        acc += res.values[k] * res.vectors[k][i] * res.vectors[k][j];
+      EXPECT_NEAR(acc, a[i * n + j], 1e-8);
+    }
+}
+
+TEST(SymEigen, EigenvectorsOrthonormal) {
+  Prng rng(9);
+  const std::size_t n = 5;
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      a[i * n + j] = rng.normal();
+      a[j * n + i] = a[i * n + j];
+    }
+  const auto res = sym_eigen(a, n);
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        dot += res.vectors[p][i] * res.vectors[q][i];
+      EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-9);
+    }
+}
+
+TEST(SymEigen, ValuesSortedDescending) {
+  Prng rng(10);
+  const std::size_t n = 7;
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      a[i * n + j] = rng.normal();
+      a[j * n + i] = a[i * n + j];
+    }
+  const auto res = sym_eigen(a, n);
+  for (std::size_t k = 1; k < n; ++k)
+    EXPECT_GE(res.values[k - 1], res.values[k] - 1e-12);
+}
+
+TEST(SymEigen, ThrowsOnSizeMismatch) {
+  EXPECT_THROW(sym_eigen({1, 2, 3}, 2), std::invalid_argument);
+}
+
+TEST(HermitianMinEigenvalue, PauliZ) {
+  const Matrix z{{1, 0}, {0, -1}};
+  EXPECT_NEAR(qoc::linalg::hermitian_min_eigenvalue(z), -1.0, 1e-9);
+}
+
+TEST(HermitianMinEigenvalue, ComplexHermitian) {
+  // [[0, -i],[i, 0]] = Pauli Y, eigenvalues +-1.
+  const Matrix y{{0, -kI}, {kI, 0}};
+  EXPECT_NEAR(qoc::linalg::hermitian_min_eigenvalue(y), -1.0, 1e-9);
+}
+
+// ---- PRNG sanity ------------------------------------------------------------
+
+TEST(Prng, DeterministicAcrossReseed) {
+  Prng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Prng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Prng, NormalMomentsApproximatelyStandard) {
+  Prng rng(12);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Prng, UniformIntBounds) {
+  Prng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_int(17), 17u);
+}
+
+TEST(Prng, SplitStreamsDiffer) {
+  Prng rng(14);
+  Prng child = rng.split();
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i)
+    if (rng() != child()) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Prng, CategoricalRespectsWeights) {
+  Prng rng(15);
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.25);
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+// Tests for noise channels (Kraus algebra + trajectory statistics) and
+// device calibration models.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qoc/common/prng.hpp"
+#include "qoc/noise/channels.hpp"
+#include "qoc/noise/device_model.hpp"
+#include "qoc/sim/gates.hpp"
+
+namespace {
+
+using namespace qoc::noise;
+using qoc::Prng;
+using qoc::linalg::cplx;
+using qoc::linalg::Matrix;
+using qoc::sim::Statevector;
+
+// ---- Kraus completeness (CPTP) ---------------------------------------------
+
+class ChannelCptpSweep
+    : public ::testing::TestWithParam<std::pair<const char*, double>> {};
+
+TEST_P(ChannelCptpSweep, TracePreserving) {
+  const auto [name, p] = GetParam();
+  KrausChannel ch;
+  const std::string n = name;
+  if (n == "depol1") ch = depolarizing_1q(p);
+  else if (n == "depol2") ch = depolarizing_2q(p);
+  else if (n == "ad") ch = amplitude_damping(p);
+  else if (n == "pd") ch = phase_damping(p);
+  else FAIL() << "unknown channel " << n;
+  EXPECT_TRUE(ch.is_trace_preserving(1e-9)) << n << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Channels, ChannelCptpSweep,
+    ::testing::Values(std::pair<const char*, double>{"depol1", 0.0},
+                      std::pair<const char*, double>{"depol1", 0.01},
+                      std::pair<const char*, double>{"depol1", 0.5},
+                      std::pair<const char*, double>{"depol1", 1.0},
+                      std::pair<const char*, double>{"depol2", 0.01},
+                      std::pair<const char*, double>{"depol2", 0.3},
+                      std::pair<const char*, double>{"ad", 0.0},
+                      std::pair<const char*, double>{"ad", 0.25},
+                      std::pair<const char*, double>{"ad", 1.0},
+                      std::pair<const char*, double>{"pd", 0.1},
+                      std::pair<const char*, double>{"pd", 0.9}));
+
+TEST(ThermalRelaxation, IsTracePreservingForPhysicalParams) {
+  for (const double t : {10e-9, 100e-9, 1e-6}) {
+    const auto ch = thermal_relaxation(100e-6, 80e-6, t);
+    EXPECT_TRUE(ch.is_trace_preserving(1e-9));
+  }
+}
+
+TEST(ThermalRelaxation, ClipsT2AboveTwoT1) {
+  // T2 > 2*T1 is unphysical; the channel should clip, not throw.
+  const auto ch = thermal_relaxation(50e-6, 150e-6, 100e-9);
+  EXPECT_TRUE(ch.is_trace_preserving(1e-9));
+}
+
+TEST(ThermalRelaxation, ZeroDurationIsIdentityChannel) {
+  const auto ch = thermal_relaxation(100e-6, 80e-6, 0.0);
+  Prng rng(1);
+  Statevector sv(1);
+  sv.apply_1q(qoc::sim::gate_h(), 0);
+  const auto before = sv.amplitudes();
+  ch.sample_and_apply(sv, {0}, rng);
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_NEAR(std::abs(sv.amplitudes()[i] - before[i]), 0.0, 1e-12);
+}
+
+TEST(ChannelValidation, RejectsBadProbabilities) {
+  EXPECT_THROW(depolarizing_1q(-0.1), std::invalid_argument);
+  EXPECT_THROW(depolarizing_1q(1.1), std::invalid_argument);
+  EXPECT_THROW(amplitude_damping(2.0), std::invalid_argument);
+  EXPECT_THROW(thermal_relaxation(-1.0, 1.0, 1.0), std::invalid_argument);
+}
+
+// ---- Trajectory statistics ---------------------------------------------------
+
+TEST(TrajectoryStats, AmplitudeDampingDecaysExcitedState) {
+  // Prepare |1>; after amplitude damping with gamma, P(1) ~ 1 - gamma.
+  const double gamma = 0.3;
+  const auto ch = amplitude_damping(gamma);
+  Prng rng(2);
+  const int trials = 20000;
+  int ones = 0;
+  for (int t = 0; t < trials; ++t) {
+    Statevector sv(1);
+    sv.apply_1q(qoc::sim::gate_x(), 0);
+    ch.sample_and_apply(sv, {0}, rng);
+    if (sv.probability_one(0) > 0.5) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / trials, 1.0 - gamma, 0.02);
+}
+
+TEST(TrajectoryStats, DepolarizingFlipsGroundStateAtExpectedRate) {
+  // On |0>, X and Y branches flip the state (p/4 each), Z/I do not.
+  const double p = 0.4;
+  const auto ch = depolarizing_1q(p);
+  Prng rng(3);
+  const int trials = 20000;
+  int flipped = 0;
+  for (int t = 0; t < trials; ++t) {
+    Statevector sv(1);
+    ch.sample_and_apply(sv, {0}, rng);
+    if (sv.probability_one(0) > 0.5) ++flipped;
+  }
+  EXPECT_NEAR(static_cast<double>(flipped) / trials, p / 2.0, 0.02);
+}
+
+TEST(TrajectoryStats, PhaseDampingPreservesPopulations) {
+  const auto ch = phase_damping(0.7);
+  Prng rng(4);
+  Statevector sv(1);
+  sv.apply_1q(qoc::sim::gate_ry(1.234), 0);
+  const double p1_before = sv.probability_one(0);
+  for (int i = 0; i < 50; ++i) ch.sample_and_apply(sv, {0}, rng);
+  EXPECT_NEAR(sv.probability_one(0), p1_before, 1e-9);
+}
+
+TEST(ReadoutError, FlipRatesMatchCalibration) {
+  ReadoutError ro{0.1, 0.3};
+  Prng rng(5);
+  const int trials = 50000;
+  int flip0 = 0, flip1 = 0;
+  for (int t = 0; t < trials; ++t) {
+    if (ro.apply(0, rng) == 1) ++flip0;
+    if (ro.apply(1, rng) == 0) ++flip1;
+  }
+  EXPECT_NEAR(static_cast<double>(flip0) / trials, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(flip1) / trials, 0.3, 0.01);
+}
+
+// ---- Device models -------------------------------------------------------------
+
+TEST(DeviceModel, AllSnapshotsValidate) {
+  for (const auto& name : DeviceModel::available()) {
+    const auto d = DeviceModel::by_name(name);
+    EXPECT_NO_THROW(d.validate()) << name;
+    EXPECT_EQ(d.name, name);
+  }
+}
+
+TEST(DeviceModel, UnknownNameThrows) {
+  EXPECT_THROW(DeviceModel::by_name("ibmq_nowhere"), std::invalid_argument);
+}
+
+TEST(DeviceModel, ManilaIsALine) {
+  const auto d = DeviceModel::ibmq_manila();
+  EXPECT_EQ(d.n_qubits, 5);
+  EXPECT_TRUE(d.connected(0, 1));
+  EXPECT_TRUE(d.connected(1, 0));  // undirected
+  EXPECT_FALSE(d.connected(0, 2));
+  EXPECT_FALSE(d.connected(0, 4));
+}
+
+TEST(DeviceModel, ShortestPathOnLine) {
+  const auto d = DeviceModel::ibmq_santiago();
+  const auto path = d.shortest_path(0, 4);
+  EXPECT_EQ(path, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(DeviceModel, ShortestPathTrivialCases) {
+  const auto d = DeviceModel::ibmq_lima();
+  EXPECT_EQ(d.shortest_path(2, 2), (std::vector<int>{2}));
+  const auto p = d.shortest_path(0, 4);  // 0-1-3-4 on the T
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.front(), 0);
+  EXPECT_EQ(p.back(), 4);
+}
+
+TEST(DeviceModel, TorontoIs27QubitsConnected) {
+  const auto d = DeviceModel::ibmq_toronto();
+  EXPECT_EQ(d.n_qubits, 27);
+  // Every pair should be reachable.
+  for (int q = 1; q < d.n_qubits; ++q)
+    EXPECT_FALSE(d.shortest_path(0, q).empty()) << "qubit " << q;
+}
+
+TEST(DeviceModel, CasablancaIsNoisierThanSantiago) {
+  // Fig. 2c: casablanca shows larger relative gradient errors.
+  const auto casa = DeviceModel::ibmq_casablanca();
+  const auto sant = DeviceModel::ibmq_santiago();
+  EXPECT_GT(casa.err_2q, sant.err_2q);
+  EXPECT_GT(casa.err_1q, sant.err_1q);
+}
+
+TEST(DeviceModel, IdealDeviceIsNoiseFreeAllToAll) {
+  const auto d = DeviceModel::ideal(4);
+  EXPECT_EQ(d.err_1q, 0.0);
+  EXPECT_EQ(d.err_2q, 0.0);
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b)
+      if (a != b) EXPECT_TRUE(d.connected(a, b));
+}
+
+TEST(DeviceModel, AdjacencyMatchesCoupling) {
+  const auto d = DeviceModel::ibmq_jakarta();
+  const auto adj = d.adjacency();
+  // Qubit 1 is the hub: neighbours 0, 2, 3.
+  EXPECT_EQ(adj[1].size(), 3u);
+  EXPECT_EQ(adj[6].size(), 1u);
+}
+
+}  // namespace

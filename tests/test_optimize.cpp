@@ -1,0 +1,137 @@
+// Tests for the transpiler peephole passes: RZ merging and CX
+// cancellation must reduce gate counts while preserving the circuit
+// unitary up to global phase.
+
+#include <gtest/gtest.h>
+
+#include "qoc/circuit/circuit.hpp"
+#include "qoc/circuit/layers.hpp"
+#include "qoc/common/prng.hpp"
+#include "qoc/sim/statevector.hpp"
+#include "qoc/transpile/optimize.hpp"
+#include "qoc/transpile/transpile.hpp"
+
+namespace {
+
+using namespace qoc::transpile;
+using qoc::Prng;
+using qoc::circuit::Circuit;
+using qoc::circuit::GateKind;
+using qoc::linalg::cplx;
+using qoc::linalg::equal_up_to_global_phase;
+using qoc::linalg::Matrix;
+
+Matrix ops_unitary(const std::vector<BoundOp>& ops, int n) {
+  const std::size_t dim = std::size_t{1} << n;
+  Matrix u(dim, dim);
+  for (std::size_t col = 0; col < dim; ++col) {
+    qoc::sim::Statevector sv(n);
+    std::vector<cplx> amps(dim, cplx{0, 0});
+    amps[col] = 1.0;
+    sv.set_amplitudes(amps);
+    for (const auto& op : ops)
+      sv.apply_matrix(qoc::circuit::gate_matrix(op.kind, op.angle), op.qubits);
+    for (std::size_t row = 0; row < dim; ++row) u(row, col) = sv.amplitude(row);
+  }
+  return u;
+}
+
+TEST(MergeRz, FusesAdjacentRotations) {
+  const std::vector<BoundOp> ops = {{GateKind::Rz, {0}, 0.4},
+                                    {GateKind::Rz, {0}, 0.6}};
+  const auto merged = merge_rz(ops);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_NEAR(merged[0].angle, 1.0, 1e-12);
+}
+
+TEST(MergeRz, FusesThroughOtherQubitsOps) {
+  const std::vector<BoundOp> ops = {{GateKind::Rz, {0}, 0.4},
+                                    {GateKind::Sx, {1}, 0.0},
+                                    {GateKind::Rz, {0}, 0.6}};
+  const auto merged = merge_rz(ops);
+  ASSERT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeRz, BlockedByInterveningGateOnSameQubit) {
+  const std::vector<BoundOp> ops = {{GateKind::Rz, {0}, 0.4},
+                                    {GateKind::Sx, {0}, 0.0},
+                                    {GateKind::Rz, {0}, 0.6}};
+  EXPECT_EQ(merge_rz(ops).size(), 3u);
+}
+
+TEST(MergeRz, DropsFullTurns) {
+  const std::vector<BoundOp> ops = {{GateKind::Rz, {0}, 3.14159265358979},
+                                    {GateKind::Rz, {0}, 3.14159265358979}};
+  EXPECT_TRUE(merge_rz(ops).empty());
+}
+
+TEST(CancelCx, RemovesAdjacentPairs) {
+  const std::vector<BoundOp> ops = {{GateKind::Cx, {0, 1}, 0.0},
+                                    {GateKind::Cx, {0, 1}, 0.0}};
+  EXPECT_TRUE(cancel_cx(ops).empty());
+}
+
+TEST(CancelCx, CommutesThroughControlRz) {
+  const std::vector<BoundOp> ops = {{GateKind::Cx, {0, 1}, 0.0},
+                                    {GateKind::Rz, {0}, 0.7},
+                                    {GateKind::Cx, {0, 1}, 0.0}};
+  const auto out = cancel_cx(ops);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, GateKind::Rz);
+  // Semantics preserved.
+  EXPECT_TRUE(equal_up_to_global_phase(ops_unitary(out, 2),
+                                       ops_unitary(ops, 2), 1e-10));
+}
+
+TEST(CancelCx, BlockedByTargetRz) {
+  // RZ on the target does NOT commute with CX.
+  const std::vector<BoundOp> ops = {{GateKind::Cx, {0, 1}, 0.0},
+                                    {GateKind::Rz, {1}, 0.7},
+                                    {GateKind::Cx, {0, 1}, 0.0}};
+  EXPECT_EQ(cancel_cx(ops).size(), 3u);
+}
+
+TEST(CancelCx, OppositeOrientationDoesNotCancel) {
+  const std::vector<BoundOp> ops = {{GateKind::Cx, {0, 1}, 0.0},
+                                    {GateKind::Cx, {1, 0}, 0.0}};
+  EXPECT_EQ(cancel_cx(ops).size(), 2u);
+}
+
+TEST(Optimize, PreservesSemanticsOnLoweredTaskCircuit) {
+  Circuit c(4);
+  qoc::circuit::add_image_encoder_16(c);
+  qoc::circuit::add_rzz_ring_layer(c);
+  qoc::circuit::add_ry_layer(c);
+  Prng rng(1);
+  std::vector<double> theta(static_cast<std::size_t>(c.num_trainable()));
+  for (auto& t : theta) t = rng.uniform(-3, 3);
+  std::vector<double> input(16);
+  for (auto& x : input) x = rng.uniform(0, 3);
+
+  const auto lowered = lower_to_basis(bind_circuit(c, theta, input));
+  const auto optimized = optimize(lowered);
+  EXPECT_LE(optimized.size(), lowered.size());
+  EXPECT_TRUE(equal_up_to_global_phase(ops_unitary(optimized, 4),
+                                       ops_unitary(lowered, 4), 1e-8));
+}
+
+TEST(Optimize, ReducesGateCountOnEncoderChains) {
+  // The 16-gate encoder lowers to ZXZXZ chains with adjacent RZs to fuse.
+  Circuit c(4);
+  qoc::circuit::add_image_encoder_16(c);
+  std::vector<double> input(16, 0.8);
+  const auto lowered = lower_to_basis(bind_circuit(c, {}, input));
+  const auto optimized = optimize(lowered);
+  EXPECT_LT(optimized.size(), lowered.size());
+}
+
+TEST(Optimize, FixedPointIsStable) {
+  Circuit c(3);
+  qoc::circuit::add_cz_chain_layer(c);
+  const auto lowered = lower_to_basis(bind_circuit(c, {}, {}));
+  const auto once = optimize(lowered);
+  const auto twice = optimize(once);
+  EXPECT_EQ(once.size(), twice.size());
+}
+
+}  // namespace

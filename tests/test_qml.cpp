@@ -1,0 +1,130 @@
+// Tests for the QNN models: task circuit structures from Sec. 4.1,
+// forward/predict/accuracy plumbing.
+
+#include <gtest/gtest.h>
+
+#include "qoc/backend/backend.hpp"
+#include "qoc/common/prng.hpp"
+#include "qoc/qml/qnn.hpp"
+
+namespace {
+
+using namespace qoc::qml;
+using qoc::Prng;
+using qoc::backend::StatevectorBackend;
+using qoc::circuit::GateKind;
+
+TEST(TaskModels, TwoClassArchitecture) {
+  // Encoder (16 ops) + RZZ ring (4) + RY layer (4); 8 trainables; 2 logits.
+  const QnnModel m = make_mnist2_model();
+  EXPECT_EQ(m.circuit().num_ops(), 24u);
+  EXPECT_EQ(m.num_params(), 8);
+  EXPECT_EQ(m.num_inputs(), 16);
+  EXPECT_EQ(m.num_classes(), 2);
+}
+
+TEST(TaskModels, Mnist4Architecture) {
+  // Encoder (16) + 3 x (4 RX + 4 RY + 4 RZ + 3 CZ) = 16 + 45 ops;
+  // 36 trainables; identity head with 4 logits.
+  const QnnModel m = make_mnist4_model();
+  EXPECT_EQ(m.circuit().num_ops(), 16u + 3u * 15u);
+  EXPECT_EQ(m.num_params(), 36);
+  EXPECT_EQ(m.num_classes(), 4);
+}
+
+TEST(TaskModels, Fashion4Architecture) {
+  // Encoder + 3 x (RZZ ring 4 + RY 4) = 16 + 24 ops; 24 trainables.
+  const QnnModel m = make_fashion4_model();
+  EXPECT_EQ(m.circuit().num_ops(), 40u);
+  EXPECT_EQ(m.num_params(), 24);
+}
+
+TEST(TaskModels, Vowel4Architecture) {
+  // Vowel encoder (10) + 2 x (RZZ ring 4 + RXX ring 4) = 26 ops; 16 params.
+  const QnnModel m = make_vowel4_model();
+  EXPECT_EQ(m.circuit().num_ops(), 26u);
+  EXPECT_EQ(m.num_params(), 16);
+  EXPECT_EQ(m.num_inputs(), 10);
+}
+
+TEST(TaskModels, LookupByName) {
+  for (const auto* name :
+       {"mnist2", "mnist4", "fashion2", "fashion4", "vowel4"}) {
+    const QnnModel m = make_task_model(name);
+    EXPECT_EQ(m.name(), name);
+  }
+  EXPECT_THROW(make_task_model("cifar10"), std::invalid_argument);
+}
+
+TEST(QnnModel, InitParamsInRangeAndDeterministic) {
+  const QnnModel m = make_fashion4_model();
+  Prng rng1(5), rng2(5);
+  const auto t1 = m.init_params(rng1);
+  const auto t2 = m.init_params(rng2);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1.size(), 24u);
+  for (double t : t1) {
+    EXPECT_GE(t, -3.1416);
+    EXPECT_LE(t, 3.1416);
+  }
+}
+
+TEST(QnnModel, ForwardProducesFiniteLogits) {
+  const QnnModel m = make_mnist2_model();
+  StatevectorBackend backend(0);
+  Prng rng(6);
+  const auto theta = m.init_params(rng);
+  std::vector<double> input(16, 0.8);
+  const auto logits = m.forward(backend, theta, input);
+  ASSERT_EQ(logits.size(), 2u);
+  for (double l : logits) {
+    EXPECT_TRUE(std::isfinite(l));
+    EXPECT_LE(std::abs(l), 2.0);  // sum of two expectation values
+  }
+}
+
+TEST(QnnModel, PredictIsArgmax) {
+  const QnnModel m = make_mnist4_model();
+  StatevectorBackend backend(0);
+  Prng rng(7);
+  const auto theta = m.init_params(rng);
+  std::vector<double> input(16, 0.5);
+  const auto logits = m.forward(backend, theta, input);
+  const int pred = m.predict(backend, theta, input);
+  for (std::size_t c = 0; c < logits.size(); ++c)
+    EXPECT_LE(logits[c], logits[static_cast<std::size_t>(pred)] + 1e-12);
+}
+
+TEST(QnnModel, AccuracyOnTrivialDatasetIsExact) {
+  const QnnModel m = make_mnist2_model();
+  StatevectorBackend backend(0);
+  Prng rng(8);
+  const auto theta = m.init_params(rng);
+  qoc::data::Dataset d;
+  std::vector<double> x(16, 0.3);
+  const int pred = m.predict(backend, theta, x);
+  d.push(x, pred);       // correctly labelled
+  d.push(x, 1 - pred);   // incorrectly labelled
+  EXPECT_NEAR(m.accuracy(backend, theta, d), 0.5, 1e-12);
+}
+
+TEST(QnnModel, HeadMismatchThrows) {
+  qoc::circuit::Circuit c(4);
+  c.h(0);
+  EXPECT_THROW(QnnModel("bad", std::move(c),
+                        qoc::autodiff::MeasurementHead::identity(3)),
+               std::invalid_argument);
+}
+
+TEST(QnnModel, EncoderInputChangesOutput) {
+  const QnnModel m = make_mnist2_model();
+  StatevectorBackend backend(0);
+  Prng rng(9);
+  const auto theta = m.init_params(rng);
+  std::vector<double> a(16, 0.1), b(16, 2.9);
+  const auto la = m.forward(backend, theta, a);
+  const auto lb = m.forward(backend, theta, b);
+  EXPECT_NE(la[0], lb[0]);
+}
+
+}  // namespace

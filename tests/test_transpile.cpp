@@ -1,0 +1,282 @@
+// Tests for the transpile pipeline: binding, basis lowering (verified by
+// unitary equivalence up to global phase), routing, and gate statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qoc/circuit/circuit.hpp"
+#include "qoc/circuit/layers.hpp"
+#include "qoc/common/prng.hpp"
+#include "qoc/sim/gates.hpp"
+#include "qoc/sim/statevector.hpp"
+#include "qoc/transpile/transpile.hpp"
+
+namespace {
+
+using namespace qoc::transpile;
+using qoc::Prng;
+using qoc::circuit::Circuit;
+using qoc::circuit::GateKind;
+using qoc::circuit::ParamRef;
+using qoc::linalg::cplx;
+using qoc::linalg::equal_up_to_global_phase;
+using qoc::linalg::kPi;
+using qoc::linalg::Matrix;
+using qoc::noise::DeviceModel;
+
+/// Apply a BoundOp list to a fresh statevector register of n qubits and
+/// return the full unitary by columns (small n only).
+Matrix ops_unitary(const std::vector<BoundOp>& ops, int n) {
+  const std::size_t dim = std::size_t{1} << n;
+  Matrix u(dim, dim);
+  for (std::size_t col = 0; col < dim; ++col) {
+    qoc::sim::Statevector sv(n);
+    std::vector<cplx> amps(dim, cplx{0, 0});
+    amps[col] = 1.0;
+    sv.set_amplitudes(amps);
+    for (const auto& op : ops)
+      sv.apply_matrix(qoc::circuit::gate_matrix(op.kind, op.angle), op.qubits);
+    for (std::size_t row = 0; row < dim; ++row) u(row, col) = sv.amplitude(row);
+  }
+  return u;
+}
+
+TEST(Bind, ResolvesAllAngleSources) {
+  Circuit c(2);
+  c.rx(0, ParamRef::trainable(0));
+  c.ry(1, ParamRef::input(0, 2.0));
+  c.rz(0, ParamRef::constant(0.25));
+  c.cx(0, 1);
+  const std::vector<double> theta = {1.5};
+  const std::vector<double> input = {0.3};
+  const auto bound = bind_circuit(c, theta, input);
+  ASSERT_EQ(bound.size(), 4u);
+  EXPECT_DOUBLE_EQ(bound[0].angle, 1.5);
+  EXPECT_DOUBLE_EQ(bound[1].angle, 0.6);
+  EXPECT_DOUBLE_EQ(bound[2].angle, 0.25);
+}
+
+// ---- ZYZ decomposition ---------------------------------------------------------
+
+TEST(Zyz, ReconstructsRandomUnitaries) {
+  Prng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Matrix u = qoc::sim::gate_u3(rng.uniform(0, kPi),
+                                       rng.uniform(-kPi, kPi),
+                                       rng.uniform(-kPi, kPi));
+    const EulerZYZ e = zyz_decompose(u);
+    const Matrix rebuilt = qoc::sim::gate_rz(e.phi) * qoc::sim::gate_ry(e.theta) *
+                           qoc::sim::gate_rz(e.lambda);
+    EXPECT_TRUE(equal_up_to_global_phase(rebuilt, u, 1e-9)) << i;
+  }
+}
+
+TEST(Zyz, HandlesDiagonalAndAntiDiagonal) {
+  const EulerZYZ ez = zyz_decompose(qoc::sim::gate_rz(0.7));
+  EXPECT_NEAR(ez.theta, 0.0, 1e-12);
+  const EulerZYZ ex = zyz_decompose(qoc::sim::gate_x());
+  EXPECT_NEAR(ex.theta, kPi, 1e-9);
+}
+
+TEST(Zyz, RejectsWrongShapes) {
+  EXPECT_THROW(zyz_decompose(Matrix(3, 3)), std::invalid_argument);
+}
+
+// ---- Basis lowering: unitary equivalence ---------------------------------------
+
+class LoweringEquivalence1q : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(LoweringEquivalence1q, PreservesUnitaryUpToPhase) {
+  const GateKind kind = GetParam();
+  Prng rng(2);
+  const double angle = rng.uniform(-3, 3);
+  const std::vector<BoundOp> original = {{kind, {0}, angle}};
+  const auto lowered = lower_to_basis(original);
+  // Everything must be in the basis.
+  for (const auto& op : lowered)
+    EXPECT_TRUE(op.kind == GateKind::Rz || op.kind == GateKind::Sx ||
+                op.kind == GateKind::X || op.kind == GateKind::Cx);
+  EXPECT_TRUE(equal_up_to_global_phase(ops_unitary(lowered, 1),
+                                       ops_unitary(original, 1), 1e-9))
+      << qoc::circuit::gate_name(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gates1q, LoweringEquivalence1q,
+                         ::testing::Values(GateKind::H, GateKind::X,
+                                           GateKind::Y, GateKind::Z,
+                                           GateKind::S, GateKind::Sdg,
+                                           GateKind::T, GateKind::Tdg,
+                                           GateKind::Sx, GateKind::Rx,
+                                           GateKind::Ry, GateKind::Rz,
+                                           GateKind::Phase));
+
+class LoweringEquivalence2q : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(LoweringEquivalence2q, PreservesUnitaryUpToPhase) {
+  const GateKind kind = GetParam();
+  Prng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const double angle = rng.uniform(-3, 3);
+    const std::vector<BoundOp> original = {{kind, {0, 1}, angle}};
+    const auto lowered = lower_to_basis(original);
+    EXPECT_TRUE(equal_up_to_global_phase(ops_unitary(lowered, 2),
+                                         ops_unitary(original, 2), 1e-9))
+        << qoc::circuit::gate_name(kind) << " angle=" << angle;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gates2q, LoweringEquivalence2q,
+                         ::testing::Values(GateKind::Cx, GateKind::Cz,
+                                           GateKind::Swap, GateKind::Rzz,
+                                           GateKind::Rxx, GateKind::Ryy,
+                                           GateKind::Rzx));
+
+TEST(Lowering, WholeTaskCircuitEquivalent) {
+  // The Fashion-4 ansatz (encoder + 3x RZZ+RY) lowered end-to-end.
+  Circuit c(4);
+  qoc::circuit::add_image_encoder_16(c);
+  for (int b = 0; b < 3; ++b) {
+    qoc::circuit::add_rzz_ring_layer(c);
+    qoc::circuit::add_ry_layer(c);
+  }
+  Prng rng(4);
+  std::vector<double> theta(static_cast<std::size_t>(c.num_trainable()));
+  for (auto& t : theta) t = rng.uniform(-kPi, kPi);
+  std::vector<double> input(16);
+  for (auto& x : input) x = rng.uniform(0, kPi);
+
+  const auto bound = bind_circuit(c, theta, input);
+  const auto lowered = lower_to_basis(bound);
+  EXPECT_TRUE(equal_up_to_global_phase(ops_unitary(lowered, 4),
+                                       ops_unitary(bound, 4), 1e-8));
+}
+
+TEST(Lowering, ElidesZeroAngleRz) {
+  const std::vector<BoundOp> ops = {{GateKind::Rz, {0}, 0.0}};
+  EXPECT_TRUE(lower_to_basis(ops).empty());
+}
+
+TEST(Lowering, RzzCostsExactlyTwoCx) {
+  const std::vector<BoundOp> ops = {{GateKind::Rzz, {0, 1}, 0.5}};
+  const auto lowered = lower_to_basis(ops);
+  const auto stats = compute_stats(lowered, 2);
+  EXPECT_EQ(stats.n_cx, 2u);
+}
+
+// ---- Routing ------------------------------------------------------------------
+
+TEST(Routing, AdjacentGatesPassThrough) {
+  const auto device = DeviceModel::ibmq_manila();
+  const std::vector<BoundOp> ops = {{GateKind::Cx, {0, 1}, 0.0},
+                                    {GateKind::Cx, {1, 2}, 0.0}};
+  const auto result = route(ops, 4, device);
+  EXPECT_EQ(result.n_swaps_inserted, 0u);
+  EXPECT_EQ(result.ops.size(), 2u);
+}
+
+TEST(Routing, InsertsSwapsForFarPairs) {
+  const auto device = DeviceModel::ibmq_manila();  // line 0-1-2-3-4
+  const std::vector<BoundOp> ops = {{GateKind::Cx, {0, 3}, 0.0}};
+  const auto result = route(ops, 4, device);
+  EXPECT_GE(result.n_swaps_inserted, 1u);
+  // All emitted 2q ops must be on coupled pairs.
+  for (const auto& op : result.ops)
+    if (op.qubits.size() == 2)
+      EXPECT_TRUE(device.connected(op.qubits[0], op.qubits[1]));
+}
+
+TEST(Routing, SemanticsPreservedUnderPermutation) {
+  // Routed circuit must equal the original up to the final layout
+  // permutation of qubits.
+  const auto device = DeviceModel::ibmq_manila();
+  Prng rng(5);
+  std::vector<BoundOp> ops;
+  for (int g = 0; g < 6; ++g) {
+    const int a = static_cast<int>(rng.uniform_int(4));
+    int b = static_cast<int>(rng.uniform_int(4));
+    while (b == a) b = static_cast<int>(rng.uniform_int(4));
+    ops.push_back({GateKind::Rzz, {a, b}, rng.uniform(-2, 2)});
+    ops.push_back({GateKind::Ry, {a}, rng.uniform(-2, 2)});
+  }
+  const auto result = route(ops, 4, device);
+
+  // Simulate original on 5 qubits (logical i = physical i initially).
+  qoc::sim::Statevector orig(5), routed(5);
+  for (const auto& op : ops)
+    orig.apply_matrix(qoc::circuit::gate_matrix(op.kind, op.angle), op.qubits);
+  for (const auto& op : result.ops)
+    routed.apply_matrix(qoc::circuit::gate_matrix(op.kind, op.angle),
+                        op.qubits);
+
+  // Compare <Z> of each logical qubit: logical l sits at final_layout[l].
+  for (int l = 0; l < 4; ++l)
+    EXPECT_NEAR(orig.expectation_z(l),
+                routed.expectation_z(result.final_layout[l]), 1e-9)
+        << "logical " << l;
+}
+
+TEST(Routing, ThrowsWhenCircuitLargerThanDevice) {
+  const auto device = DeviceModel::ibmq_manila();
+  EXPECT_THROW(route({}, 6, device), std::invalid_argument);
+}
+
+// ---- Full pipeline + stats ------------------------------------------------------
+
+TEST(FullTranspile, TaskCircuitOnManila) {
+  Circuit c(4);
+  qoc::circuit::add_image_encoder_16(c);
+  qoc::circuit::add_rzz_ring_layer(c);
+  qoc::circuit::add_ry_layer(c);
+  Prng rng(6);
+  std::vector<double> theta(static_cast<std::size_t>(c.num_trainable()), 0.5);
+  std::vector<double> input(16, 1.0);
+
+  const auto t = transpile(c, theta, input, DeviceModel::ibmq_manila());
+  // Ring on a line needs at least one SWAP for the (3,0) closure.
+  EXPECT_GE(t.n_swaps_inserted, 1u);
+  EXPECT_GT(t.stats.n_cx, 8u);  // 4 RZZ x 2 CX + 3 CX per SWAP
+  EXPECT_GT(t.stats.n_rz, 0u);
+  EXPECT_GT(t.stats.depth, 0u);
+}
+
+TEST(FullTranspile, SuccessProbabilityInUnitInterval) {
+  Circuit c(4);
+  qoc::circuit::add_rzz_ring_layer(c);
+  std::vector<double> theta(4, 0.3);
+  const auto device = DeviceModel::ibmq_lima();
+  const auto t = transpile(c, theta, {}, device);
+  const double p = estimated_success_probability(t, device);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(FullTranspile, DurationPositiveAndScalesWithDepth) {
+  Circuit small(4), big(4);
+  qoc::circuit::add_rzz_ring_layer(small);
+  for (int i = 0; i < 5; ++i) qoc::circuit::add_rzz_ring_layer(big);
+  std::vector<double> ts(4, 0.3), tb(20, 0.3);
+  const auto device = DeviceModel::ibmq_santiago();
+  const auto a = transpile(small, ts, {}, device);
+  const auto b = transpile(big, tb, {}, device);
+  EXPECT_GT(estimated_duration_s(a, device), 0.0);
+  EXPECT_GT(estimated_duration_s(b, device), estimated_duration_s(a, device));
+}
+
+TEST(Stats, CountsByKind) {
+  const std::vector<BoundOp> ops = {{GateKind::Rz, {0}, 1.0},
+                                    {GateKind::Sx, {0}, 0.0},
+                                    {GateKind::Sx, {1}, 0.0},
+                                    {GateKind::Cx, {0, 1}, 0.0},
+                                    {GateKind::X, {1}, 0.0}};
+  const auto s = compute_stats(ops, 2);
+  EXPECT_EQ(s.n_rz, 1u);
+  EXPECT_EQ(s.n_sx, 2u);
+  EXPECT_EQ(s.n_x, 1u);
+  EXPECT_EQ(s.n_cx, 1u);
+  EXPECT_EQ(s.physical_1q(), 3u);
+  // Depth ignores the virtual RZ: sx(0), then cx, then x -> depth 3.
+  EXPECT_EQ(s.depth, 3u);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+// Tests for the VQE extension: Pauli Hamiltonians, energy estimation
+// (exact and sampled), and the parameter-shift VQE solver with pruning.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qoc/common/prng.hpp"
+#include "qoc/sim/gates.hpp"
+#include "qoc/vqe/vqe.hpp"
+
+namespace {
+
+using namespace qoc;
+using namespace qoc::vqe;
+using qoc::circuit::Circuit;
+using qoc::circuit::ParamRef;
+
+TEST(Hamiltonian, ValidatesTerms) {
+  EXPECT_THROW(Hamiltonian(2, {{"Z", 1.0}}), std::invalid_argument);
+  EXPECT_THROW(Hamiltonian(2, {{"ZQ", 1.0}}), std::invalid_argument);
+  EXPECT_NO_THROW(Hamiltonian(2, {{"ZI", 1.0}}));
+}
+
+TEST(Hamiltonian, SingleZExpectationOnBasisStates) {
+  const Hamiltonian h(1, {{"Z", 1.0}});
+  sim::Statevector zero(1);
+  EXPECT_NEAR(h.expectation(zero), 1.0, 1e-12);
+  sim::Statevector one(1);
+  one.apply_pauli_x(0);
+  EXPECT_NEAR(h.expectation(one), -1.0, 1e-12);
+}
+
+TEST(Hamiltonian, XExpectationOnPlusState) {
+  const Hamiltonian h(1, {{"X", 2.0}});
+  sim::Statevector plus(1);
+  plus.apply_1q(sim::gate_h(), 0);
+  EXPECT_NEAR(h.expectation(plus), 2.0, 1e-12);
+}
+
+TEST(Hamiltonian, MatrixMatchesTermExpectations) {
+  const Hamiltonian h = Hamiltonian::h2_minimal();
+  const auto m = h.to_matrix();
+  // <00|H|00> from the matrix must equal expectation on |00>.
+  sim::Statevector psi(2);
+  EXPECT_NEAR(h.expectation(psi), m(0, 0).real(), 1e-12);
+  EXPECT_TRUE(linalg::is_hermitian(m, 1e-12));
+}
+
+TEST(Hamiltonian, GroundEnergyOfSingleSpin) {
+  // H = Z has ground energy -1; H = X also -1.
+  EXPECT_NEAR(Hamiltonian(1, {{"Z", 1.0}}).exact_ground_energy(), -1.0, 1e-9);
+  EXPECT_NEAR(Hamiltonian(1, {{"X", 1.0}}).exact_ground_energy(), -1.0, 1e-9);
+}
+
+TEST(Hamiltonian, TransverseIsingLimits) {
+  // h = 0: classical Ising, ground energy -J (n-1) (ferromagnetic chain).
+  const auto classical = Hamiltonian::transverse_ising(4, 1.0, 0.0);
+  EXPECT_NEAR(classical.exact_ground_energy(), -3.0, 1e-9);
+  // J = 0: independent spins in X field, ground energy -h n.
+  const auto field = Hamiltonian::transverse_ising(4, 0.0, 0.5);
+  EXPECT_NEAR(field.exact_ground_energy(), -2.0, 1e-9);
+}
+
+TEST(Hamiltonian, HeisenbergTwoSitesGroundIsSinglet) {
+  // 2-site antiferromagnetic Heisenberg: E0 = -3J.
+  const auto h = Hamiltonian::heisenberg(2, 1.0);
+  EXPECT_NEAR(h.exact_ground_energy(), -3.0, 1e-9);
+}
+
+TEST(EnergyEstimator, ExactMatchesHamiltonianExpectation) {
+  const Hamiltonian h = Hamiltonian::h2_minimal();
+  EnergyEstimator est(h);
+  Circuit ansatz(2);
+  ansatz.ry(0, ParamRef::trainable(0));
+  ansatz.cx(0, 1);
+  const std::vector<double> theta = {0.8};
+
+  sim::Statevector psi(2);
+  psi.apply_1q(sim::gate_ry(0.8), 0);
+  psi.apply_2q(sim::gate_cx(), 0, 1);
+  EXPECT_NEAR(est.energy(ansatz, theta), h.expectation(psi), 1e-12);
+  EXPECT_EQ(est.executions(), 1u);
+}
+
+TEST(EnergyEstimator, SampledConvergesToExact) {
+  const Hamiltonian h = Hamiltonian::h2_minimal();
+  Circuit ansatz(2);
+  ansatz.ry(0, ParamRef::trainable(0));
+  ansatz.cx(0, 1);
+  const std::vector<double> theta = {1.1};
+
+  EnergyEstimator exact(h);
+  const double e_exact = exact.energy(ansatz, theta);
+
+  EstimatorOptions opt;
+  opt.shots = 40000;
+  opt.seed = 9;
+  EnergyEstimator sampled(h, opt);
+  EXPECT_NEAR(sampled.energy(ansatz, theta), e_exact, 0.02);
+  // One execution per non-identity term (5 of 6 terms).
+  EXPECT_EQ(sampled.executions(), 5u);
+}
+
+TEST(EnergyEstimator, RejectsBadOptions) {
+  EstimatorOptions opt;
+  opt.shots = -1;
+  EXPECT_THROW(EnergyEstimator(Hamiltonian::h2_minimal(), opt),
+               std::invalid_argument);
+  opt.shots = 0;
+  opt.gate_noise = 1.5;
+  EXPECT_THROW(EnergyEstimator(Hamiltonian::h2_minimal(), opt),
+               std::invalid_argument);
+}
+
+TEST(EnergyEstimator, QubitMismatchThrows) {
+  EnergyEstimator est(Hamiltonian::h2_minimal());
+  Circuit ansatz(3);
+  ansatz.ry(0, ParamRef::trainable(0));
+  EXPECT_THROW(est.energy(ansatz, std::vector<double>{0.1}),
+               std::invalid_argument);
+}
+
+TEST(VqeSolver, ReachesH2GroundStateExactly) {
+  const Hamiltonian h2 = Hamiltonian::h2_minimal();
+  VqeConfig cfg;
+  cfg.steps = 80;
+  cfg.seed = 3;
+  VqeSolver solver(EnergyEstimator(h2),
+                   VqeSolver::hardware_efficient_ansatz(2, 2), cfg);
+  const VqeResult res = solver.run();
+  EXPECT_NEAR(res.best_energy, h2.exact_ground_energy(), 5e-3);
+}
+
+TEST(VqeSolver, EnergyHistoryDecreasesOverall) {
+  const Hamiltonian ising = Hamiltonian::transverse_ising(3, 1.0, 0.5);
+  VqeConfig cfg;
+  cfg.steps = 40;
+  cfg.seed = 7;
+  VqeSolver solver(EnergyEstimator(ising),
+                   VqeSolver::hardware_efficient_ansatz(3, 2), cfg);
+  const VqeResult res = solver.run();
+  ASSERT_GE(res.history.size(), 2u);
+  EXPECT_LT(res.history.back().energy, res.history.front().energy);
+  EXPECT_GT(res.total_executions, 0u);
+}
+
+TEST(VqeSolver, PruningReducesExecutions) {
+  const Hamiltonian ising = Hamiltonian::transverse_ising(3, 1.0, 0.5);
+  auto run_with = [&](bool prune) {
+    VqeConfig cfg;
+    cfg.steps = 15;
+    cfg.seed = 11;
+    cfg.use_pruning = prune;
+    cfg.pruner.ratio = 0.5;
+    cfg.pruner.pruning_window = 2;
+    VqeSolver solver(EnergyEstimator(ising),
+                     VqeSolver::hardware_efficient_ansatz(3, 2), cfg);
+    return solver.run().total_executions;
+  };
+  EXPECT_LT(run_with(true), run_with(false));
+}
+
+TEST(VqeSolver, NoisySampledStillApproachesGround) {
+  const Hamiltonian h2 = Hamiltonian::h2_minimal();
+  EstimatorOptions opt;
+  opt.shots = 512;
+  opt.gate_noise = 1e-3;
+  opt.seed = 13;
+  VqeConfig cfg;
+  cfg.steps = 60;
+  cfg.seed = 3;
+  cfg.use_pruning = true;
+  cfg.pruner.ratio = 0.5;
+  cfg.pruner.pruning_window = 2;
+  VqeSolver solver(EnergyEstimator(h2, opt),
+                   VqeSolver::hardware_efficient_ansatz(2, 2), cfg);
+  const VqeResult res = solver.run();
+  EXPECT_NEAR(res.best_energy, h2.exact_ground_energy(), 0.1);
+}
+
+TEST(VqeSolver, RejectsParameterFreeAnsatz) {
+  Circuit fixed(2);
+  fixed.h(0);
+  EXPECT_THROW(VqeSolver(EnergyEstimator(Hamiltonian::h2_minimal()),
+                         std::move(fixed), VqeConfig{}),
+               std::invalid_argument);
+}
+
+TEST(VqeSolver, HardwareEfficientAnsatzShape) {
+  const Circuit c = VqeSolver::hardware_efficient_ansatz(4, 2);
+  // depth d: d * (RY 4 + RZ 4 + CZ 3) + final RY 4.
+  EXPECT_EQ(c.num_ops(), 2u * 11u + 4u);
+  EXPECT_EQ(c.num_trainable(), 2 * 8 + 4);
+}
+
+}  // namespace
