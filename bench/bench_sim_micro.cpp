@@ -9,6 +9,7 @@
 #include "qoc/circuit/layers.hpp"
 #include "qoc/common/prng.hpp"
 #include "qoc/data/images.hpp"
+#include "qoc/exec/compiled_circuit.hpp"
 #include "qoc/qml/qnn.hpp"
 #include "qoc/sim/gates.hpp"
 #include "qoc/sim/statevector.hpp"
@@ -100,6 +101,123 @@ void BM_ParameterShiftJacobian(benchmark::State& state) {
     benchmark::DoNotOptimize(engine.jacobian(theta, input));
 }
 BENCHMARK(BM_ParameterShiftJacobian);
+
+// ---- Compiled execution plans ----------------------------------------------
+// The bind-once-run-many engine vs the generic per-run path, on the same
+// circuit and bindings.
+
+void BM_StatevectorRunUncompiled(benchmark::State& state) {
+  // The pre-plan hot path: resolve every ParamRef, build every gate
+  // matrix, apply through the generic dense kernel.
+  const qml::QnnModel model = qml::make_fashion4_model();
+  Prng rng(6);
+  const auto theta = model.init_params(rng);
+  const std::vector<double> input(16, 0.5);
+  const auto& c = model.circuit();
+  for (auto _ : state) {
+    sim::Statevector sv(c.num_qubits());
+    for (const auto& op : c.ops()) {
+      const double angle = circuit::resolve_angle(op.param, theta, input);
+      sv.apply_matrix(circuit::gate_matrix(op.kind, angle), op.qubits);
+    }
+    benchmark::DoNotOptimize(sv.expectation_z_all());
+  }
+}
+BENCHMARK(BM_StatevectorRunUncompiled);
+
+void BM_StatevectorRunCompiled(benchmark::State& state) {
+  const qml::QnnModel model = qml::make_fashion4_model();
+  Prng rng(6);
+  const auto theta = model.init_params(rng);
+  const std::vector<double> input(16, 0.5);
+  const auto& plan = model.plan();
+  std::vector<double> angles;
+  for (auto _ : state) {
+    plan.resolve_slots(theta, input, exec::Evaluation::kNoShift, 0.0, angles);
+    sim::Statevector sv(plan.num_qubits());
+    plan.apply(sv, angles);
+    benchmark::DoNotOptimize(sv.expectation_z_all());
+  }
+}
+BENCHMARK(BM_StatevectorRunCompiled);
+
+void BM_StatevectorRunCompiledFused(benchmark::State& state) {
+  const qml::QnnModel model = qml::make_fashion4_model();
+  Prng rng(6);
+  const auto theta = model.init_params(rng);
+  const std::vector<double> input(16, 0.5);
+  exec::CompileOptions opts;
+  opts.fuse_1q = true;
+  const auto plan = exec::CompiledCircuit::compile(model.circuit(), opts);
+  std::vector<double> angles;
+  for (auto _ : state) {
+    plan.resolve_slots(theta, input, exec::Evaluation::kNoShift, 0.0, angles);
+    sim::Statevector sv(plan.num_qubits());
+    plan.apply(sv, angles);
+    benchmark::DoNotOptimize(sv.expectation_z_all());
+  }
+}
+BENCHMARK(BM_StatevectorRunCompiledFused);
+
+void BM_RunBatchExact(benchmark::State& state) {
+  // One batched submission of `range(0)` evaluations on all cores.
+  const qml::QnnModel model = qml::make_fashion4_model();
+  Prng rng(7);
+  const auto theta = model.init_params(rng);
+  const std::vector<double> input(16, 0.5);
+  backend::StatevectorBackend backend(0);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<exec::Evaluation> evals(n);
+  for (auto& e : evals) {
+    e.theta = theta;
+    e.input = input;
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(backend.run_batch(model.plan(), evals, 0));
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RunBatchExact)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TranspileWithTemplate(benchmark::State& state) {
+  // Cached routing (the run_batch path) vs BM_TranspileTaskCircuit's full
+  // pipeline.
+  const qml::QnnModel model = qml::make_fashion4_model();
+  Prng rng(3);
+  const auto theta = model.init_params(rng);
+  const std::vector<double> input(16, 0.5);
+  const auto device = noise::DeviceModel::ibmq_manila();
+  const auto tmpl = transpile::route_template(model.circuit(), device);
+  std::vector<double> angles;
+  for (auto _ : state) {
+    model.plan().resolve_source_angles(theta, input,
+                                       exec::Evaluation::kNoShift, 0.0,
+                                       angles);
+    benchmark::DoNotOptimize(
+        transpile::transpile_with_angles(tmpl, angles, device));
+  }
+}
+BENCHMARK(BM_TranspileWithTemplate);
+
+void BM_NoisyBackendRunBatch(benchmark::State& state) {
+  const qml::QnnModel model = qml::make_mnist2_model();
+  Prng rng(4);
+  const auto theta = model.init_params(rng);
+  const std::vector<double> input(16, 0.5);
+  backend::NoisyBackendOptions opt;
+  opt.trajectories = 32;
+  opt.shots = 256;
+  backend::NoisyBackend qc(noise::DeviceModel::ibmq_santiago(), opt);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<exec::Evaluation> evals(n);
+  for (auto& e : evals) {
+    e.theta = theta;
+    e.input = input;
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(qc.run_batch(model.plan(), evals, 0));
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_NoisyBackendRunBatch)->Arg(8)->Arg(32);
 
 void BM_ImagePipeline(benchmark::State& state) {
   data::SyntheticImages gen(data::SyntheticImages::Style::Fashion, 4, 6);

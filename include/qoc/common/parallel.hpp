@@ -6,8 +6,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <exception>
-#include <functional>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace qoc {
@@ -21,9 +21,11 @@ inline unsigned hardware_threads() {
 /// Invoke fn(i) for i in [begin, end), splitting the range statically over
 /// up to max_threads workers. fn must be safe to call concurrently for
 /// distinct i. Exceptions from workers are rethrown on the calling thread
-/// (first one wins).
-inline void parallel_for(std::size_t begin, std::size_t end,
-                         const std::function<void(std::size_t)>& fn,
+/// (first one wins). The callable is invoked directly (no std::function
+/// indirection), so per-index bodies inline into the worker loop.
+template <typename Fn,
+          typename = std::enable_if_t<std::is_invocable_v<Fn&, std::size_t>>>
+inline void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
                          unsigned max_threads = 0) {
   if (end <= begin) return;
   const std::size_t n = end - begin;

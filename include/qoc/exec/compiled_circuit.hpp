@@ -1,0 +1,184 @@
+#pragma once
+// Compiled execution plans: bind once, run many.
+//
+// Every high-frequency consumer of a circuit -- param-shift Jacobians,
+// masked batch gradients, noisy-trajectory inference -- executes the SAME
+// circuit structure over and over with different parameter bindings. The
+// generic path re-resolves every ParamRef, re-allocates every gate matrix
+// and re-dispatches through the dense apply_matrix kernel on each run.
+//
+// CompiledCircuit lowers a circuit::Circuit ONCE into a flat op stream:
+//   * every fixed gate's matrix is built a single time and cached
+//     (dense, or as diagonal entries for the Z/S/T family),
+//   * structured gates (CX, CZ, SWAP, Paulis, diagonals) dispatch to the
+//     specialized sim::Statevector kernels instead of the dense path,
+//   * every angle-bearing gate gets a *parameter slot* whose value is
+//     resolved from (theta, input) in one pass per evaluation, and
+//   * optionally, runs of adjacent single-qubit gates are fused into one
+//     2x2 application (CompileOptions::fuse_1q).
+//
+// Executing a plan in exact mode is bit-identical to the uncompiled path:
+// the specialized kernels perform the same arithmetic with known-zero
+// terms dropped, which can only change the sign of zeros (invisible to
+// probabilities and expectation values). 1q fusion re-associates matrix
+// products and therefore changes results at the ulp level, so it is OFF
+// by default and opted into by throughput paths only.
+//
+// Plans also carry a canonical structural signature. Backends key their
+// per-structure caches (e.g. the NoisyBackend's routed transpilation
+// template) on it, so a cache entry is invalidated exactly when the
+// circuit structure actually changes.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qoc/circuit/circuit.hpp"
+#include "qoc/linalg/matrix.hpp"
+#include "qoc/sim/statevector.hpp"
+
+namespace qoc::exec {
+
+struct CompileOptions {
+  /// Fuse runs of adjacent single-qubit gates on the same qubit (gates
+  /// separated only by ops on other qubits commute into one run) into a
+  /// single 2x2 application. Changes results at the ulp level, so keep it
+  /// off where bit-exact parity with the uncompiled path matters.
+  bool fuse_1q = false;
+};
+
+/// Kernel selector for one op of the flat stream.
+enum class OpCode : std::uint8_t {
+  PauliX,   // specialized Pauli kernels
+  PauliY,
+  PauliZ,
+  Cx,       // permutation kernels
+  Cz,
+  Swap,
+  Diag1q,   // cached diagonal 2x2 (Z/S/Sdg/T/Tdg)
+  Fixed1q,  // cached dense 2x2 (H, SX, fused fixed runs)
+  Fixed2q,  // cached dense 4x4
+  FixedK,   // cached 2^k x 2^k, k >= 3 (CCX)
+  Rot1q,    // angle-dependent 1q gate, built per evaluation from a slot
+  Rot2q,    // angle-dependent 2q gate
+  Fused1q,  // product of a 1q run with >= 1 angle-dependent member
+};
+
+struct CompiledOp {
+  OpCode code;
+  circuit::GateKind kind = circuit::GateKind::I;
+  std::int32_t q0 = -1;      // first operand
+  std::int32_t q1 = -1;      // second operand (2q ops)
+  std::int32_t slot = -1;    // angle slot (Rot1q / Rot2q)
+  std::int32_t matrix = -1;  // index into the fixed-matrix cache
+  std::int32_t group = -1;   // fusion group (Fused1q)
+  std::vector<int> qubits;   // operand list for FixedK only
+};
+
+/// One member of a Fused1q group, in application order.
+struct FusedElem {
+  circuit::GateKind kind = circuit::GateKind::I;
+  std::int32_t slot = -1;    // angle slot, or -1 when `matrix` is set
+  std::int32_t matrix = -1;  // fixed-matrix cache index
+};
+
+/// How one angle slot resolves at bind time.
+struct AngleSlot {
+  circuit::ParamRef ref;
+  std::uint32_t src_op = 0;  // index of the op in the source circuit
+};
+
+/// One circuit execution request for Backend::run_batch. `shift_op`
+/// optionally offsets the angle of a single source-circuit op by `shift`
+/// (the +-pi/2 of the parameter-shift rule) without rebuilding anything.
+struct Evaluation {
+  static constexpr std::size_t kNoShift = static_cast<std::size_t>(-1);
+
+  std::span<const double> theta;
+  std::span<const double> input;
+  std::size_t shift_op = kNoShift;
+  double shift = 0.0;
+};
+
+/// Canonical structural signature of a circuit: gate kinds, operand
+/// qubits and full parameter bindings. Two circuits with equal signatures
+/// execute identically for every (theta, input). Cheap to compute without
+/// compiling, so caches can test for a hit first.
+std::string structure_signature(const circuit::Circuit& c);
+
+/// Streaming hash of the same structural identity (no allocation; used
+/// by per-call cache probes). Equal structures hash equally; collisions
+/// must be resolved with structure_equal.
+std::uint64_t structure_hash(const circuit::Circuit& c);
+
+/// Exact structural equality (field-wise; doubles compared bitwise).
+bool structure_equal(const circuit::Circuit& a, const circuit::Circuit& b);
+
+class CompiledCircuit {
+ public:
+  /// Lower `c` into a plan. The circuit is copied into the plan, so the
+  /// plan owns everything it needs for its lifetime.
+  static CompiledCircuit compile(const circuit::Circuit& c,
+                                 CompileOptions options = {});
+
+  int num_qubits() const { return source_.num_qubits(); }
+  int num_trainable() const { return source_.num_trainable(); }
+  int num_inputs() const { return source_.num_inputs(); }
+  const circuit::Circuit& source() const { return source_; }
+  const CompileOptions& options() const { return options_; }
+
+  const std::vector<CompiledOp>& ops() const { return ops_; }
+  std::size_t num_slots() const { return slots_.size(); }
+  const std::vector<AngleSlot>& slots() const { return slots_; }
+
+  /// Canonical structural identity: gate kinds, operand qubits and full
+  /// parameter bindings of the source circuit. Two circuits with equal
+  /// signatures execute identically for every (theta, input).
+  const std::string& signature() const { return signature_; }
+  std::uint64_t structure_hash() const { return hash_; }
+
+  /// Resolve every angle slot against (theta, input); `out` is resized to
+  /// num_slots(). A shift on source op `shift_op` is folded into the
+  /// affected slot exactly as train::with_op_offset would (delta added to
+  /// the ParamRef offset before resolution, so results are bit-identical).
+  void resolve_slots(std::span<const double> theta,
+                     std::span<const double> input, std::size_t shift_op,
+                     double shift, std::vector<double>& out) const;
+
+  /// Resolve the angle of every *source* op (0.0 for angle-free ops);
+  /// matches transpile::bind_circuit bit-for-bit. Used by transpiling
+  /// backends together with transpile::RoutedTemplate.
+  void resolve_source_angles(std::span<const double> theta,
+                             std::span<const double> input,
+                             std::size_t shift_op, double shift,
+                             std::vector<double>& out) const;
+
+  /// Execute the op stream against `sv` using slot angles from
+  /// resolve_slots. The statevector must have num_qubits() qubits.
+  void apply(sim::Statevector& sv, std::span<const double> slot_angles) const;
+
+  /// Convenience: resolve + apply on a fresh |0..0> state and return
+  /// <Z_q> for every qubit.
+  std::vector<double> expectations(std::span<const double> theta,
+                                   std::span<const double> input,
+                                   std::size_t shift_op = Evaluation::kNoShift,
+                                   double shift = 0.0) const;
+
+ private:
+  CompiledCircuit() : source_(1) {}
+
+  circuit::Circuit source_;
+  CompileOptions options_;
+  std::vector<CompiledOp> ops_;
+  std::vector<AngleSlot> slots_;
+  std::vector<std::int32_t> slot_of_src_op_;  // -1 for angle-free ops
+  std::vector<linalg::Matrix> matrices_;      // fixed-gate cache
+  std::vector<circuit::GateKind> matrix_kinds_;  // cache key (I = no reuse)
+  std::vector<FusedElem> fused_;              // flattened fusion groups
+  std::vector<std::pair<std::int32_t, std::int32_t>> groups_;  // [begin,end)
+  std::string signature_;
+  std::uint64_t hash_ = 0;
+};
+
+}  // namespace qoc::exec

@@ -19,6 +19,7 @@
 #include "qoc/circuit/circuit.hpp"
 #include "qoc/common/prng.hpp"
 #include "qoc/data/dataset.hpp"
+#include "qoc/exec/compiled_circuit.hpp"
 
 namespace qoc::qml {
 
@@ -30,6 +31,11 @@ class QnnModel {
   const std::string& name() const { return name_; }
   const circuit::Circuit& circuit() const { return circuit_; }
   const autodiff::MeasurementHead& head() const { return head_; }
+
+  /// Execution plan compiled once at construction ("bind once, run
+  /// many"): every forward/accuracy/gradient evaluation of the model
+  /// reuses it instead of re-lowering the circuit.
+  const exec::CompiledCircuit& plan() const { return plan_; }
 
   int num_params() const { return circuit_.num_trainable(); }
   int num_inputs() const { return circuit_.num_inputs(); }
@@ -48,9 +54,9 @@ class QnnModel {
   int predict(backend::Backend& backend, std::span<const double> theta,
               std::span<const double> input) const;
 
-  /// Classification accuracy over a dataset. threads = 1 evaluates
-  /// sequentially; 0 uses all hardware cores (requires a backend that
-  /// tolerates concurrent run() calls).
+  /// Classification accuracy over a dataset, submitted as one batched
+  /// backend call. threads = 1 evaluates sequentially; 0 uses all
+  /// hardware cores. Results are independent of the thread count.
   double accuracy(backend::Backend& backend, std::span<const double> theta,
                   const data::Dataset& dataset, unsigned threads = 1) const;
 
@@ -58,6 +64,7 @@ class QnnModel {
   std::string name_;
   circuit::Circuit circuit_;
   autodiff::MeasurementHead head_;
+  exec::CompiledCircuit plan_;
 };
 
 // ---- Paper task models -----------------------------------------------------

@@ -47,9 +47,37 @@ class Statevector {
   /// (used for Kraus trajectory branches).
   void apply_1q(const Matrix& m, int qubit);
 
+  /// Same, from a row-major stack buffer m[4]; avoids the heap-backed
+  /// Matrix on hot paths (compiled-plan execution).
+  void apply_1q(const cplx* m, int qubit);
+
   /// Apply a 4x4 matrix to the ordered pair (qubit_a, qubit_b), where
   /// qubit_a indexes the higher bit of the 4x4 matrix.
   void apply_2q(const Matrix& m, int qubit_a, int qubit_b);
+
+  /// Same, from a row-major stack buffer m[16].
+  void apply_2q(const cplx* m, int qubit_a, int qubit_b);
+
+  // Specialized kernels for structured gates. Each computes exactly the
+  // arithmetic of the generic dense path with the known-zero terms
+  // dropped, so results are bit-identical (up to the sign of zeros, which
+  // cannot affect probabilities or expectation values).
+
+  /// diag(d0, d1) on one qubit (RZ, phase, S/T family).
+  void apply_diag_1q(cplx d0, cplx d1, int qubit);
+
+  /// diag(d00, d01, d10, d11) on an ordered pair (RZZ, CP cores).
+  void apply_diag_2q(cplx d00, cplx d01, cplx d10, cplx d11, int qubit_a,
+                     int qubit_b);
+
+  /// Controlled-X: swaps the target pair where the control bit is 1.
+  void apply_cx(int control, int target);
+
+  /// Controlled-Z: negates amplitudes where both bits are 1.
+  void apply_cz(int qubit_a, int qubit_b);
+
+  /// SWAP: exchanges the |01> and |10> amplitudes of the pair.
+  void apply_swap(int qubit_a, int qubit_b);
 
   /// Apply a 2^k x 2^k matrix to an ordered list of k distinct qubits.
   /// qubits[0] is the highest bit of the matrix index. k <= 6.

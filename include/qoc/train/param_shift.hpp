@@ -37,14 +37,16 @@ struct BatchGradient {
 
 class ParameterShiftEngine {
  public:
+  /// Binds to the model's pre-compiled execution plan (QnnModel::plan):
+  /// every gradient evaluation submits shifted evaluations of that one
+  /// plan as a backend batch instead of materialising shifted circuits.
   ParameterShiftEngine(backend::Backend& backend, const qml::QnnModel& model);
 
-  /// Fan the per-example gradient work of batch_gradient across worker
-  /// threads. 1 (default) = sequential and bit-for-bit deterministic;
-  /// 0 = one thread per hardware core. Values > 1 require the backend to
-  /// tolerate concurrent run() calls (both bundled backends do), and make
-  /// NoisyBackend results run-order dependent, so keep 1 where exact
-  /// reproducibility matters (tests) and use 0 for throughput (benches).
+  /// Fan the evaluation batches of jacobian/batch_gradient/batch_loss
+  /// across worker threads. 1 (default) = sequential; 0 = one thread per
+  /// hardware core. Per-evaluation RNG streams are assigned in submission
+  /// order by the backends, so results no longer depend on the thread
+  /// count; gradients are combined in batch order either way.
   void set_threads(unsigned threads) { threads_ = threads; }
   unsigned threads() const { return threads_; }
 
@@ -72,11 +74,10 @@ class ParameterShiftEngine {
   const qml::QnnModel& model() const { return model_; }
 
  private:
-  /// d f(theta)/d theta_i for one example as a vector over qubits,
-  /// summing contributions of every gate the parameter appears in.
-  std::vector<double> param_gradient(std::span<const double> theta,
-                                     std::span<const double> input,
-                                     int param_index);
+  /// (param index, source op index) for every shifted evaluation the
+  /// current mask requires, grouped by param in ascending order.
+  std::vector<std::pair<int, std::size_t>> shift_list(
+      const std::vector<bool>* mask) const;
 
   backend::Backend& backend_;
   const qml::QnnModel& model_;

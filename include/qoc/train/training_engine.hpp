@@ -50,9 +50,11 @@ struct TrainingConfig {
   /// trajectory.
   std::size_t max_eval_examples = 0;
 
-  /// Worker threads for per-example gradient evaluation and validation:
-  /// 1 = sequential/deterministic (default), 0 = all hardware cores.
-  /// See ParameterShiftEngine::set_threads for the determinism caveat.
+  /// Worker threads for the batched gradient and validation submissions:
+  /// 1 = sequential (default), 0 = all hardware cores. The model circuit
+  /// is compiled once into an execution plan and every step submits its
+  /// shifted evaluations as one backend batch, so results are identical
+  /// for any thread count (see Backend::run_batch).
   unsigned threads = 1;
 
   void validate() const;

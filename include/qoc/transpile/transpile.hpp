@@ -18,6 +18,7 @@
 // therefore extra CX noise, just like on the real chips.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -102,6 +103,37 @@ struct Transpiled {
 Transpiled transpile(const circuit::Circuit& c, std::span<const double> theta,
                      std::span<const double> input,
                      const noise::DeviceModel& device);
+
+/// The angle-independent prefix of the pipeline (decompose + route),
+/// computed once per circuit *structure*. Placement and SWAP insertion
+/// depend only on gate arities and operand qubits, never on angles, so a
+/// template can be reused across every binding of the same circuit --
+/// including the parameter-shifted variants of a training step.
+struct RoutedTemplate {
+  struct TOp {
+    circuit::GateKind kind = circuit::GateKind::I;
+    std::vector<int> qubits;  // physical indices
+    /// Index of the source-circuit op supplying this op's angle, or -1
+    /// for angle-free ops (fixed gates, inserted SWAPs, CCX expansion).
+    std::int32_t src = -1;
+  };
+  std::vector<TOp> ops;
+  std::vector<int> final_layout;
+  std::size_t n_swaps_inserted = 0;
+  int n_logical = 0;
+};
+
+/// Decompose + route `c` against `device` without binding angles.
+RoutedTemplate route_template(const circuit::Circuit& c,
+                              const noise::DeviceModel& device);
+
+/// Finish the pipeline for one binding: substitute per-source-op angles
+/// (from exec::CompiledCircuit::resolve_source_angles or equivalent),
+/// lower to the device basis and optimize. Produces output bit-identical
+/// to transpile() on the same circuit and binding.
+Transpiled transpile_with_angles(const RoutedTemplate& t,
+                                 std::span<const double> source_angles,
+                                 const noise::DeviceModel& device);
 
 /// Estimated success probability of the transpiled circuit: the product
 /// of (1 - err) over all physical gates plus readout. A coarse fidelity

@@ -1,14 +1,99 @@
 #include "qoc/backend/backend.hpp"
 
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
+#include "qoc/common/parallel.hpp"
 #include "qoc/sim/density_matrix.hpp"
+#include "qoc/sim/gates.hpp"
 #include "qoc/sim/statevector.hpp"
 
 namespace qoc::backend {
 
 using circuit::GateKind;
+using linalg::cplx;
+using linalg::kI;
+using linalg::Matrix;
+
+// ---------------------------------------------------------------------------
+// Backend base: plan cache + compatibility batch path
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::size_t kPlanCacheCap = 512;
+constexpr std::size_t kTranspileCacheCap = 128;
+}  // namespace
+
+std::shared_ptr<const exec::CompiledCircuit> Backend::plan_cached(
+    const circuit::Circuit& c) {
+  // Probe with an allocation-free streaming hash + field-wise compare;
+  // the signature string is only materialised inside compile() on a miss.
+  const std::uint64_t h = exec::structure_hash(c);
+
+  const std::lock_guard<std::mutex> lock(plan_cache_mutex_);
+  if (plan_cache_entries_ >= kPlanCacheCap) {
+    plan_cache_.clear();
+    plan_cache_entries_ = 0;
+  }
+  auto& bucket = plan_cache_[h];
+  for (const auto& plan : bucket)
+    if (exec::structure_equal(c, plan->source())) return plan;
+  bucket.push_back(std::make_shared<const exec::CompiledCircuit>(
+      exec::CompiledCircuit::compile(c)));
+  ++plan_cache_entries_;
+  return bucket.back();
+}
+
+std::vector<std::vector<double>> Backend::execute_batch(
+    const exec::CompiledCircuit& plan, std::span<const exec::Evaluation> evals,
+    unsigned threads) {
+  // Compatibility path for backends that only implement execute():
+  // materialise each evaluation as a concrete circuit. No amortisation,
+  // but identical semantics.
+  (void)threads;  // sequential: execute() need not be thread-safe here
+  const circuit::Circuit& src = plan.source();
+  std::vector<std::vector<double>> results(evals.size());
+  for (std::size_t k = 0; k < evals.size(); ++k) {
+    const auto& e = evals[k];
+    if (e.shift_op == exec::Evaluation::kNoShift) {
+      results[k] = execute(src, e.theta, e.input);
+      continue;
+    }
+    if (e.shift_op >= src.num_ops())
+      throw std::out_of_range("execute_batch: shift op index");
+    circuit::Circuit shifted(src.num_qubits());
+    for (std::size_t i = 0; i < src.num_ops(); ++i) {
+      const auto& op = src.op(i);
+      circuit::ParamRef p = op.param;
+      if (i == e.shift_op) {
+        if (!circuit::gate_is_parameterised(op.kind))
+          throw std::invalid_argument(
+              "execute_batch: shift op not parameterised");
+        p.value += e.shift;
+      }
+      shifted.add(op.kind, op.qubits, p);
+    }
+    results[k] = execute(shifted, e.theta, e.input);
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// TranspileCache
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const transpile::RoutedTemplate> TranspileCache::get(
+    const exec::CompiledCircuit& plan, const noise::DeviceModel& device) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(plan.signature());
+  if (it != cache_.end()) return it->second;
+  if (cache_.size() >= kTranspileCacheCap) cache_.clear();
+  auto tmpl = std::make_shared<const transpile::RoutedTemplate>(
+      transpile::route_template(plan.source(), device));
+  cache_.emplace(plan.signature(), tmpl);
+  return tmpl;
+}
 
 // ---------------------------------------------------------------------------
 // StatevectorBackend
@@ -22,31 +107,72 @@ StatevectorBackend::StatevectorBackend(int shots, std::uint64_t seed)
 std::vector<double> StatevectorBackend::execute(
     const circuit::Circuit& c, std::span<const double> theta,
     std::span<const double> input) {
-  sim::Statevector sv(c.num_qubits());
-  for (const auto& op : c.ops()) {
-    const double angle = circuit::resolve_angle(op.param, theta, input);
-    sv.apply_matrix(circuit::gate_matrix(op.kind, angle), op.qubits);
-  }
-  if (shots_ == 0) return sv.expectation_z_all();
+  return execute_single(*plan_cached(c), theta, input);
+}
 
-  // Finite-shot estimate of each <Z_q>. The RNG draw is serialised so
-  // concurrent run() calls (parallel batch gradients) stay safe.
-  Prng shot_rng(0);
-  {
-    const std::lock_guard<std::mutex> lock(rng_mutex_);
-    shot_rng = rng_.split();
-  }
-  const auto samples = sv.sample(shots_, shot_rng);
-  const int n = c.num_qubits();
-  std::vector<double> acc(static_cast<std::size_t>(n), 0.0);
+namespace {
+
+/// Finite-shot estimate of each <Z_q> from full-register samples.
+std::vector<double> expectations_from_samples(
+    const std::vector<std::uint64_t>& samples, int n_qubits, int shots) {
+  std::vector<double> acc(static_cast<std::size_t>(n_qubits), 0.0);
   for (const auto s : samples) {
-    for (int q = 0; q < n; ++q) {
-      const std::uint64_t bit = (s >> (n - 1 - q)) & 1ULL;
+    for (int q = 0; q < n_qubits; ++q) {
+      const std::uint64_t bit = (s >> (n_qubits - 1 - q)) & 1ULL;
       acc[static_cast<std::size_t>(q)] += bit ? -1.0 : 1.0;
     }
   }
-  for (auto& v : acc) v /= static_cast<double>(shots_);
+  for (auto& v : acc) v /= static_cast<double>(shots);
   return acc;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> StatevectorBackend::execute_batch(
+    const exec::CompiledCircuit& plan, std::span<const exec::Evaluation> evals,
+    unsigned threads) {
+  const int n = plan.num_qubits();
+  std::vector<std::vector<double>> results(evals.size());
+
+  if (shots_ == 0) {
+    // Exact mode: stateless, lock-free; scales linearly with threads.
+    parallel_for(
+        0, evals.size(),
+        [&](std::size_t k) {
+          const auto& e = evals[k];
+          std::vector<double> angles;
+          plan.resolve_slots(e.theta, e.input, e.shift_op, e.shift, angles);
+          sim::Statevector sv(n);
+          plan.apply(sv, angles);
+          results[k] = sv.expectation_z_all();
+        },
+        threads);
+    return results;
+  }
+
+  // Sampled mode: derive one RNG stream per evaluation in submission
+  // order (exactly the split sequence a loop of run() calls would draw),
+  // then execute the batch in parallel.
+  std::vector<Prng> rngs;
+  rngs.reserve(evals.size());
+  {
+    const std::lock_guard<std::mutex> lock(rng_mutex_);
+    for (std::size_t k = 0; k < evals.size(); ++k)
+      rngs.push_back(rng_.split());
+  }
+  parallel_for(
+      0, evals.size(),
+      [&](std::size_t k) {
+        const auto& e = evals[k];
+        std::vector<double> angles;
+        plan.resolve_slots(e.theta, e.input, e.shift_op, e.shift, angles);
+        sim::Statevector sv(n);
+        plan.apply(sv, angles);
+        const auto samples = sv.sample(shots_, rngs[k]);
+        results[k] = expectations_from_samples(samples, n, shots_);
+      },
+      threads);
+  return results;
 }
 
 // ---------------------------------------------------------------------------
@@ -64,10 +190,8 @@ DensityMatrixBackend::DensityMatrixBackend(noise::DeviceModel device,
     throw std::invalid_argument("DensityMatrixBackend: negative noise_scale");
 }
 
-std::vector<double> DensityMatrixBackend::execute(
-    const circuit::Circuit& c, std::span<const double> theta,
-    std::span<const double> input) {
-  const auto transpiled = transpile::transpile(c, theta, input, device_);
+std::vector<double> DensityMatrixBackend::run_transpiled(
+    const transpile::Transpiled& t, int n_logical) const {
   const int n_phys = device_.n_qubits;
   const double scale = options_.noise_scale;
 
@@ -87,7 +211,7 @@ std::vector<double> DensityMatrixBackend::execute(
       noise::depolarizing_2q(std::min(1.0, device_.err_2q * scale));
 
   sim::DensityMatrix rho(n_phys);
-  for (const auto& op : transpiled.ops) {
+  for (const auto& op : t.ops) {
     rho.apply_unitary(circuit::gate_matrix(op.kind, op.angle), op.qubits);
     if (op.kind == GateKind::Rz) continue;  // virtual, error-free
     if (op.qubits.size() == 1) {
@@ -108,9 +232,9 @@ std::vector<double> DensityMatrixBackend::execute(
   }
 
   const auto z_phys = rho.expectation_z_all();
-  std::vector<double> out(static_cast<std::size_t>(c.num_qubits()));
-  for (int l = 0; l < c.num_qubits(); ++l) {
-    const int phys = transpiled.final_layout[static_cast<std::size_t>(l)];
+  std::vector<double> out(static_cast<std::size_t>(n_logical));
+  for (int l = 0; l < n_logical; ++l) {
+    const int phys = t.final_layout[static_cast<std::size_t>(l)];
     double z = z_phys[static_cast<std::size_t>(phys)];
     if (options_.enable_readout_error) {
       const auto& cal = device_.qubits[static_cast<std::size_t>(phys)];
@@ -122,6 +246,31 @@ std::vector<double> DensityMatrixBackend::execute(
     out[static_cast<std::size_t>(l)] = z;
   }
   return out;
+}
+
+std::vector<double> DensityMatrixBackend::execute(
+    const circuit::Circuit& c, std::span<const double> theta,
+    std::span<const double> input) {
+  return execute_single(*plan_cached(c), theta, input);
+}
+
+std::vector<std::vector<double>> DensityMatrixBackend::execute_batch(
+    const exec::CompiledCircuit& plan, std::span<const exec::Evaluation> evals,
+    unsigned threads) {
+  const auto tmpl = transpile_cache_.get(plan, device_);
+  std::vector<std::vector<double>> results(evals.size());
+  parallel_for(
+      0, evals.size(),
+      [&](std::size_t k) {
+        const auto& e = evals[k];
+        std::vector<double> angles;
+        plan.resolve_source_angles(e.theta, e.input, e.shift_op, e.shift,
+                                   angles);
+        const auto t = transpile::transpile_with_angles(*tmpl, angles, device_);
+        results[k] = run_transpiled(t, plan.num_qubits());
+      },
+      threads);
+  return results;
 }
 
 // ---------------------------------------------------------------------------
@@ -145,18 +294,18 @@ namespace {
 /// Depolarizing error after a physical gate. For Pauli channels the branch
 /// weights are state-independent, so we sample Paulis directly instead of
 /// paying the generic Kraus-branch norm computation.
-void inject_depolarizing(sim::Statevector& sv, const std::vector<int>& qubits,
-                         double p, Prng& rng) {
+void inject_depolarizing(sim::Statevector& sv, int q0, int q1, double p,
+                         Prng& rng) {
   if (p <= 0.0) return;
-  if (qubits.size() == 1) {
+  if (q1 < 0) {
     // I with 1 - 3p/4, else X/Y/Z with p/4 each.
     const double u = rng.uniform();
     if (u >= 0.75 * p) return;
     const int which = static_cast<int>(u / (0.25 * p));
     switch (which) {
-      case 0: sv.apply_pauli_x(qubits[0]); break;
-      case 1: sv.apply_pauli_y(qubits[0]); break;
-      default: sv.apply_pauli_z(qubits[0]); break;
+      case 0: sv.apply_pauli_x(q0); break;
+      case 1: sv.apply_pauli_y(q0); break;
+      default: sv.apply_pauli_z(q0); break;
     }
     return;
   }
@@ -174,19 +323,81 @@ void inject_depolarizing(sim::Statevector& sv, const std::vector<int>& qubits,
       default: break;
     }
   };
-  apply_pauli(pa, qubits[0]);
-  apply_pauli(pb, qubits[1]);
+  apply_pauli(pa, q0);
+  apply_pauli(pb, q1);
 }
+
+/// Per-evaluation trajectory program: the transpiled op stream with all
+/// structure-dependent work (matrix construction, kernel selection, noise
+/// classification) hoisted out of the trajectory loop. With 64
+/// trajectories per execution this alone removes 64x redundant gate-matrix
+/// builds per op. The lowered basis is exactly {RZ, SX, X, CX}; anything
+/// else is a pipeline bug and throws rather than degrading the noise
+/// model silently.
+struct TrajectoryProgram {
+  enum class K : std::uint8_t { Rz, Sx, X, Cx };
+  struct Op {
+    K k;
+    int q0 = -1, q1 = -1;
+    cplx d0, d1;  // Rz diagonal
+  };
+  std::vector<Op> ops;
+  Matrix sx = sim::gate_sx();
+
+  explicit TrajectoryProgram(const transpile::Transpiled& t) {
+    ops.reserve(t.ops.size());
+    for (const auto& bop : t.ops) {
+      Op op;
+      op.q0 = bop.qubits[0];
+      switch (bop.kind) {
+        case GateKind::Rz:
+          op.k = K::Rz;
+          op.d0 = std::exp(-kI * (bop.angle / 2.0));
+          op.d1 = std::exp(kI * (bop.angle / 2.0));
+          break;
+        case GateKind::Sx:
+          op.k = K::Sx;
+          break;
+        case GateKind::X:
+          op.k = K::X;
+          break;
+        case GateKind::Cx:
+          op.k = K::Cx;
+          op.q1 = bop.qubits[1];
+          break;
+        default:
+          throw std::logic_error("TrajectoryProgram: unexpected gate '" +
+                                 circuit::gate_name(bop.kind) +
+                                 "' in transpiled stream");
+      }
+      ops.push_back(op);
+    }
+  }
+
+  void apply(sim::Statevector& sv, const Op& op) const {
+    switch (op.k) {
+      case K::Rz:
+        sv.apply_diag_1q(op.d0, op.d1, op.q0);
+        break;
+      case K::Sx:
+        sv.apply_1q(sx, op.q0);
+        break;
+      case K::X:
+        sv.apply_pauli_x(op.q0);
+        break;
+      case K::Cx:
+        sv.apply_cx(op.q0, op.q1);
+        break;
+    }
+  }
+};
 
 }  // namespace
 
-std::vector<double> NoisyBackend::execute(const circuit::Circuit& c,
-                                          std::span<const double> theta,
-                                          std::span<const double> input) {
-  const auto transpiled = transpile::transpile(c, theta, input, device_);
+std::vector<double> NoisyBackend::run_transpiled(
+    const transpile::Transpiled& t, int n_logical,
+    std::uint64_t serial) const {
   const int n_phys = device_.n_qubits;
-  const int n_logical = c.num_qubits();
-
   const double scale = options_.noise_scale;
   const double p1 = options_.enable_gate_noise ? device_.err_1q * scale : 0.0;
   const double p2 = options_.enable_gate_noise ? device_.err_2q * scale : 0.0;
@@ -204,15 +415,14 @@ std::vector<double> NoisyBackend::execute(const circuit::Circuit& c,
     }
   }
 
+  const TrajectoryProgram program(t);
+
   const int n_traj = options_.trajectories;
-  const int shots_per_traj =
-      std::max(1, options_.shots / n_traj);
+  const int shots_per_traj = std::max(1, options_.shots / n_traj);
 
   // Independent RNG stream per execution; trajectories split from it so
-  // concurrent run() calls do not interleave draws.
-  Prng exec_rng(options_.seed +
-                0x9E3779B97F4A7C15ULL *
-                    (run_serial_.fetch_add(1, std::memory_order_relaxed) + 1));
+  // concurrent executions do not interleave draws.
+  Prng exec_rng(options_.seed + 0x9E3779B97F4A7C15ULL * (serial + 1));
 
   std::vector<double> acc(static_cast<std::size_t>(n_logical), 0.0);
   std::uint64_t total_samples = 0;
@@ -220,21 +430,23 @@ std::vector<double> NoisyBackend::execute(const circuit::Circuit& c,
   for (int traj = 0; traj < n_traj; ++traj) {
     Prng rng = exec_rng.split();
     sim::Statevector sv(n_phys);
-    for (const auto& op : transpiled.ops) {
-      sv.apply_matrix(circuit::gate_matrix(op.kind, op.angle), op.qubits);
+    for (const auto& op : program.ops) {
+      program.apply(sv, op);
       // Virtual RZ: frame change only, no physical pulse, no error.
-      if (op.kind == GateKind::Rz) continue;
-      if (op.qubits.size() == 1) {
-        inject_depolarizing(sv, op.qubits, p1, rng);
+      if (op.k == TrajectoryProgram::K::Rz) continue;
+      if (op.q1 < 0) {
+        inject_depolarizing(sv, op.q0, -1, p1, rng);
         if (options_.enable_relaxation)
-          relax_1q[static_cast<std::size_t>(op.qubits[0])].sample_and_apply(
-              sv, {op.qubits[0]}, rng);
+          relax_1q[static_cast<std::size_t>(op.q0)].sample_and_apply(
+              sv, {op.q0}, rng);
       } else {
-        inject_depolarizing(sv, op.qubits, p2, rng);
-        if (options_.enable_relaxation)
-          for (int q : op.qubits)
-            relax_2q[static_cast<std::size_t>(q)].sample_and_apply(sv, {q},
-                                                                   rng);
+        inject_depolarizing(sv, op.q0, op.q1, p2, rng);
+        if (options_.enable_relaxation) {
+          relax_2q[static_cast<std::size_t>(op.q0)].sample_and_apply(
+              sv, {op.q0}, rng);
+          relax_2q[static_cast<std::size_t>(op.q1)].sample_and_apply(
+              sv, {op.q1}, rng);
+        }
       }
     }
 
@@ -243,7 +455,7 @@ std::vector<double> NoisyBackend::execute(const circuit::Circuit& c,
     const auto samples = sv.sample(shots_per_traj, rng);
     for (const auto s : samples) {
       for (int l = 0; l < n_logical; ++l) {
-        const int phys = transpiled.final_layout[static_cast<std::size_t>(l)];
+        const int phys = t.final_layout[static_cast<std::size_t>(l)];
         int bit = static_cast<int>((s >> (n_phys - 1 - phys)) & 1ULL);
         if (options_.enable_readout_error) {
           const auto& cal = device_.qubits[static_cast<std::size_t>(phys)];
@@ -259,6 +471,33 @@ std::vector<double> NoisyBackend::execute(const circuit::Circuit& c,
 
   for (auto& v : acc) v /= static_cast<double>(total_samples);
   return acc;
+}
+
+std::vector<double> NoisyBackend::execute(const circuit::Circuit& c,
+                                          std::span<const double> theta,
+                                          std::span<const double> input) {
+  return execute_single(*plan_cached(c), theta, input);
+}
+
+std::vector<std::vector<double>> NoisyBackend::execute_batch(
+    const exec::CompiledCircuit& plan, std::span<const exec::Evaluation> evals,
+    unsigned threads) {
+  const auto tmpl = transpile_cache_.get(plan, device_);
+  const std::uint64_t base =
+      run_serial_.fetch_add(evals.size(), std::memory_order_relaxed);
+  std::vector<std::vector<double>> results(evals.size());
+  parallel_for(
+      0, evals.size(),
+      [&](std::size_t k) {
+        const auto& e = evals[k];
+        std::vector<double> angles;
+        plan.resolve_source_angles(e.theta, e.input, e.shift_op, e.shift,
+                                   angles);
+        const auto t = transpile::transpile_with_angles(*tmpl, angles, device_);
+        results[k] = run_transpiled(t, plan.num_qubits(), base + k);
+      },
+      threads);
+  return results;
 }
 
 double NoisyBackend::estimate_duration_s(const circuit::Circuit& c,

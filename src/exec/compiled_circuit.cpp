@@ -1,0 +1,581 @@
+#include "qoc/exec/compiled_circuit.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <functional>
+#include <stdexcept>
+
+#include "qoc/sim/gates.hpp"
+
+namespace qoc::exec {
+
+using circuit::GateKind;
+using circuit::ParamRef;
+using linalg::cplx;
+using linalg::kI;
+using linalg::Matrix;
+
+namespace {
+
+bool is_diag_2q_kind(GateKind k) {
+  return k == GateKind::Rzz || k == GateKind::Crz || k == GateKind::Cp;
+}
+
+/// 2x2 entries of an angle-dependent 1q gate, row-major. Mirrors the
+/// exact arithmetic of sim::gate_rx/ry/rz/p so compiled execution stays
+/// bit-identical to the Matrix-building path.
+void rot1q_entries(GateKind kind, double angle, cplx out[4]) {
+  switch (kind) {
+    case GateKind::Rx: {
+      const double c = std::cos(angle / 2.0);
+      const double s = std::sin(angle / 2.0);
+      out[0] = c;
+      out[1] = -kI * s;
+      out[2] = -kI * s;
+      out[3] = c;
+      return;
+    }
+    case GateKind::Ry: {
+      const double c = std::cos(angle / 2.0);
+      const double s = std::sin(angle / 2.0);
+      out[0] = c;
+      out[1] = -s;
+      out[2] = s;
+      out[3] = c;
+      return;
+    }
+    case GateKind::Rz: {
+      out[0] = std::exp(-kI * (angle / 2.0));
+      out[1] = 0.0;
+      out[2] = 0.0;
+      out[3] = std::exp(kI * (angle / 2.0));
+      return;
+    }
+    case GateKind::Phase: {
+      out[0] = 1.0;
+      out[1] = 0.0;
+      out[2] = 0.0;
+      out[3] = std::exp(kI * angle);
+      return;
+    }
+    default:
+      throw std::logic_error("rot1q_entries: not a 1q rotation");
+  }
+}
+
+/// 4x4 entries of an angle-dependent 2q gate, row-major. Mirrors the
+/// exact arithmetic of sim::two_qubit_rotation / sim::controlled on the
+/// stack, so no heap Matrix is built per evaluation.
+void rot2q_entries(GateKind kind, double angle, cplx out[16]) {
+  switch (kind) {
+    case GateKind::Rxx:
+    case GateKind::Ryy:
+    case GateKind::Rzz:
+    case GateKind::Rzx: {
+      // exp(-i angle/2 P) = cos(angle/2) I - i sin(angle/2) P. The Pauli
+      // products have exact entries in {0, +-1, +-i}, so replaying
+      // I*c - P*(i*s) entry-wise reproduces the Matrix path bit-for-bit.
+      static constexpr cplx kZero{0.0, 0.0};
+      static constexpr cplx kOne{1.0, 0.0};
+      static constexpr cplx kMinusOne{-1.0, 0.0};
+      const double c = std::cos(angle / 2.0);
+      const double s = std::sin(angle / 2.0);
+      const cplx cc{c, 0.0};
+      const cplx is = kI * s;
+      cplx p[16] = {};
+      switch (kind) {
+        case GateKind::Rzz:
+          p[0] = kOne;
+          p[5] = kMinusOne;
+          p[10] = kMinusOne;
+          p[15] = kOne;
+          break;
+        case GateKind::Rxx:
+          p[3] = kOne;
+          p[6] = kOne;
+          p[9] = kOne;
+          p[12] = kOne;
+          break;
+        case GateKind::Ryy:
+          // kron(Y, Y): (-i)(-i) = -1, (-i)(i) = 1, (i)(-i) = 1,
+          // (i)(i) = -1 -- all exact.
+          p[3] = kMinusOne;
+          p[6] = kOne;
+          p[9] = kOne;
+          p[12] = kMinusOne;
+          break;
+        default:  // Rzx: kron(Z, X)
+          p[1] = kOne;
+          p[4] = kOne;
+          p[11] = kMinusOne;
+          p[14] = kMinusOne;
+          break;
+      }
+      for (int e = 0; e < 16; ++e) {
+        const cplx ident = (e % 5 == 0) ? kOne : kZero;
+        out[e] = ident * cc - p[e] * is;
+      }
+      return;
+    }
+    case GateKind::Crx:
+    case GateKind::Cry:
+    case GateKind::Crz:
+    case GateKind::Cp: {
+      GateKind base = GateKind::Rx;
+      if (kind == GateKind::Cry) base = GateKind::Ry;
+      if (kind == GateKind::Crz) base = GateKind::Rz;
+      if (kind == GateKind::Cp) base = GateKind::Phase;
+      cplx u[4];
+      rot1q_entries(base, angle, u);
+      for (int e = 0; e < 16; ++e) out[e] = cplx{0.0, 0.0};
+      out[0] = 1.0;
+      out[5] = 1.0;
+      out[10] = u[0];
+      out[11] = u[1];
+      out[14] = u[2];
+      out[15] = u[3];
+      return;
+    }
+    default:
+      throw std::logic_error("rot2q_entries: not a 2q rotation");
+  }
+}
+
+/// Diagonal of an angle-dependent diagonal 2q gate (Rzz/Crz/Cp),
+/// computing exactly the four entries the Matrix path would produce.
+void rot2q_diag_entries(GateKind kind, double angle, cplx out[4]) {
+  if (kind == GateKind::Rzz) {
+    // diag(I*c - ZZ*(i s)) with ZZ diag = (1, -1, -1, 1).
+    const double c = std::cos(angle / 2.0);
+    const double s = std::sin(angle / 2.0);
+    const cplx cc{c, 0.0};
+    const cplx is = kI * s;
+    out[0] = cc - is;
+    out[1] = cc - cplx{-1.0, 0.0} * is;
+    out[2] = out[1];
+    out[3] = out[0];
+    return;
+  }
+  // Controlled diagonal: identity block + the base rotation's diagonal.
+  cplx u[4];
+  rot1q_entries(kind == GateKind::Crz ? GateKind::Rz : GateKind::Phase, angle,
+                u);
+  out[0] = 1.0;
+  out[1] = 1.0;
+  out[2] = u[0];
+  out[3] = u[3];
+}
+
+/// out = b * a (2x2, row-major): the matrix of "apply a, then b".
+void matmul_2x2(const cplx a[4], const cplx b[4], cplx out[4]) {
+  out[0] = b[0] * a[0] + b[1] * a[2];
+  out[1] = b[0] * a[1] + b[1] * a[3];
+  out[2] = b[2] * a[0] + b[3] * a[2];
+  out[3] = b[2] * a[1] + b[3] * a[3];
+}
+
+void append_hex_u64(std::string& s, std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  s += buf;
+}
+
+void append_double_bits(std::string& s, double v) {
+  append_hex_u64(s, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+std::string structure_signature(const circuit::Circuit& c) {
+  std::string sig;
+  sig.reserve(c.num_ops() * 48 + 32);
+  sig += "n";
+  sig += std::to_string(c.num_qubits());
+  sig += ";t";
+  sig += std::to_string(c.num_trainable());
+  sig += ";i";
+  sig += std::to_string(c.num_inputs());
+  sig += ";";
+  for (const auto& op : c.ops()) {
+    sig += "k";
+    sig += std::to_string(static_cast<int>(op.kind));
+    sig += ":";
+    for (const int q : op.qubits) {
+      sig += std::to_string(q);
+      sig += ",";
+    }
+    sig += "p";
+    sig += std::to_string(static_cast<int>(op.param.source));
+    sig += ",";
+    sig += std::to_string(op.param.index);
+    sig += ",";
+    append_double_bits(sig, op.param.scale);
+    sig += ",";
+    append_double_bits(sig, op.param.value);
+    sig += ";";
+  }
+  return sig;
+}
+
+std::uint64_t structure_hash(const circuit::Circuit& c) {
+  // FNV-1a over the structural fields, allocation-free.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001B3ULL;
+  };
+  mix(static_cast<std::uint64_t>(c.num_qubits()));
+  mix(static_cast<std::uint64_t>(c.num_trainable()));
+  mix(static_cast<std::uint64_t>(c.num_inputs()));
+  for (const auto& op : c.ops()) {
+    mix(static_cast<std::uint64_t>(op.kind));
+    for (const int q : op.qubits) mix(static_cast<std::uint64_t>(q) + 1);
+    mix(static_cast<std::uint64_t>(op.param.source));
+    mix(static_cast<std::uint64_t>(op.param.index) + 1);
+    mix(std::bit_cast<std::uint64_t>(op.param.scale));
+    mix(std::bit_cast<std::uint64_t>(op.param.value));
+  }
+  return h;
+}
+
+bool structure_equal(const circuit::Circuit& a, const circuit::Circuit& b) {
+  if (a.num_qubits() != b.num_qubits() || a.num_ops() != b.num_ops() ||
+      a.num_trainable() != b.num_trainable() ||
+      a.num_inputs() != b.num_inputs())
+    return false;
+  for (std::size_t i = 0; i < a.num_ops(); ++i) {
+    const auto& x = a.op(i);
+    const auto& y = b.op(i);
+    if (x.kind != y.kind || x.qubits != y.qubits ||
+        x.param.source != y.param.source || x.param.index != y.param.index ||
+        std::bit_cast<std::uint64_t>(x.param.scale) !=
+            std::bit_cast<std::uint64_t>(y.param.scale) ||
+        std::bit_cast<std::uint64_t>(x.param.value) !=
+            std::bit_cast<std::uint64_t>(y.param.value))
+      return false;
+  }
+  return true;
+}
+
+CompiledCircuit CompiledCircuit::compile(const circuit::Circuit& c,
+                                         CompileOptions options) {
+  CompiledCircuit plan;
+  plan.source_ = c;
+  plan.options_ = options;
+  plan.slot_of_src_op_.assign(c.num_ops(), -1);
+  plan.signature_ = structure_signature(c);
+  plan.hash_ = exec::structure_hash(c);
+
+  // ---- Lower to the flat op stream ----------------------------------------
+  auto cached_matrix = [&plan](GateKind kind) -> std::int32_t {
+    for (std::size_t i = 0; i < plan.matrices_.size(); ++i) {
+      // Fixed-gate matrices are keyed by kind via a parallel scan; the
+      // cache is tiny (a handful of distinct fixed gates per circuit).
+      if (plan.matrix_kinds_[i] == kind) return static_cast<std::int32_t>(i);
+    }
+    plan.matrices_.push_back(circuit::gate_matrix(kind));
+    plan.matrix_kinds_.push_back(kind);
+    return static_cast<std::int32_t>(plan.matrices_.size() - 1);
+  };
+
+  std::vector<CompiledOp> stream;
+  stream.reserve(c.num_ops());
+  for (std::size_t i = 0; i < c.num_ops(); ++i) {
+    const auto& op = c.op(i);
+    CompiledOp out;
+    out.kind = op.kind;
+    out.q0 = op.qubits.empty() ? -1 : op.qubits[0];
+    out.q1 = op.qubits.size() > 1 ? op.qubits[1] : -1;
+
+    if (circuit::gate_is_parameterised(op.kind)) {
+      out.slot = static_cast<std::int32_t>(plan.slots_.size());
+      plan.slot_of_src_op_[i] = out.slot;
+      plan.slots_.push_back({op.param, static_cast<std::uint32_t>(i)});
+      out.code =
+          circuit::gate_arity(op.kind) == 1 ? OpCode::Rot1q : OpCode::Rot2q;
+      stream.push_back(std::move(out));
+      continue;
+    }
+
+    switch (op.kind) {
+      case GateKind::I:
+        continue;  // exact identity; elide
+      case GateKind::X: out.code = OpCode::PauliX; break;
+      case GateKind::Y: out.code = OpCode::PauliY; break;
+      case GateKind::Z: out.code = OpCode::PauliZ; break;
+      case GateKind::Cx: out.code = OpCode::Cx; break;
+      case GateKind::Cz: out.code = OpCode::Cz; break;
+      case GateKind::Swap: out.code = OpCode::Swap; break;
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+        out.code = OpCode::Diag1q;
+        out.matrix = cached_matrix(op.kind);
+        break;
+      case GateKind::H:
+      case GateKind::Sx:
+        out.code = OpCode::Fixed1q;
+        out.matrix = cached_matrix(op.kind);
+        break;
+      case GateKind::Ccx:
+        out.code = OpCode::FixedK;
+        out.matrix = cached_matrix(op.kind);
+        out.qubits = op.qubits;
+        break;
+      default:
+        // Any other fixed gate: cache its matrix, dispatch by arity.
+        out.matrix = cached_matrix(op.kind);
+        out.code = circuit::gate_arity(op.kind) == 1 ? OpCode::Fixed1q
+                                                     : OpCode::Fixed2q;
+        break;
+    }
+    stream.push_back(std::move(out));
+  }
+
+  if (!options.fuse_1q) {
+    plan.ops_ = std::move(stream);
+    return plan;
+  }
+
+  // ---- 1q fusion -----------------------------------------------------------
+  // Gather per-qubit runs of single-qubit gates separated only by ops on
+  // other qubits (those commute, so the run collapses into one 2x2 at the
+  // position of its last member). All-fixed runs are folded into a single
+  // cached matrix at compile time; runs containing rotations become
+  // Fused1q groups whose product is formed per evaluation.
+  auto is_1q = [](const CompiledOp& op) {
+    switch (op.code) {
+      case OpCode::PauliX:
+      case OpCode::PauliY:
+      case OpCode::PauliZ:
+      case OpCode::Diag1q:
+      case OpCode::Fixed1q:
+      case OpCode::Rot1q:
+        return true;
+      default:
+        return false;
+    }
+  };
+
+  std::vector<CompiledOp> fused_stream;
+  fused_stream.reserve(stream.size());
+  std::vector<std::vector<CompiledOp>> pending(
+      static_cast<std::size_t>(c.num_qubits()));
+
+  auto elem_matrix = [&plan, &cached_matrix](const CompiledOp& op) {
+    return op.matrix >= 0 ? op.matrix : cached_matrix(op.kind);
+  };
+
+  auto flush = [&](int q) {
+    auto& run = pending[static_cast<std::size_t>(q)];
+    if (run.empty()) return;
+    if (run.size() == 1) {
+      fused_stream.push_back(std::move(run[0]));
+      run.clear();
+      return;
+    }
+    bool any_rot = false;
+    for (const auto& op : run)
+      if (op.code == OpCode::Rot1q) any_rot = true;
+
+    if (!any_rot) {
+      // Fold the whole run into one cached matrix now.
+      Matrix prod = plan.matrices_[static_cast<std::size_t>(
+          elem_matrix(run[0]))];
+      for (std::size_t i = 1; i < run.size(); ++i)
+        prod = plan.matrices_[static_cast<std::size_t>(elem_matrix(run[i]))] *
+               prod;
+      CompiledOp out;
+      out.code = OpCode::Fixed1q;
+      out.kind = run.back().kind;
+      out.q0 = q;
+      out.matrix = static_cast<std::int32_t>(plan.matrices_.size());
+      plan.matrices_.push_back(std::move(prod));
+      plan.matrix_kinds_.push_back(GateKind::I);  // never matched by kind
+      fused_stream.push_back(std::move(out));
+      run.clear();
+      return;
+    }
+
+    CompiledOp out;
+    out.code = OpCode::Fused1q;
+    out.kind = run.back().kind;
+    out.q0 = q;
+    out.group = static_cast<std::int32_t>(plan.groups_.size());
+    const auto begin = static_cast<std::int32_t>(plan.fused_.size());
+    for (const auto& op : run) {
+      FusedElem e;
+      e.kind = op.kind;
+      if (op.code == OpCode::Rot1q)
+        e.slot = op.slot;
+      else
+        e.matrix = elem_matrix(op);
+      plan.fused_.push_back(e);
+    }
+    plan.groups_.emplace_back(begin,
+                              static_cast<std::int32_t>(plan.fused_.size()));
+    fused_stream.push_back(std::move(out));
+    run.clear();
+  };
+
+  for (auto& op : stream) {
+    if (is_1q(op)) {
+      pending[static_cast<std::size_t>(op.q0)].push_back(std::move(op));
+      continue;
+    }
+    if (op.code == OpCode::FixedK) {
+      for (const int q : op.qubits) flush(q);
+    } else {
+      flush(op.q0);
+      flush(op.q1);
+    }
+    fused_stream.push_back(std::move(op));
+  }
+  for (int q = 0; q < c.num_qubits(); ++q) flush(q);
+
+  plan.ops_ = std::move(fused_stream);
+  return plan;
+}
+
+void CompiledCircuit::resolve_slots(std::span<const double> theta,
+                                    std::span<const double> input,
+                                    std::size_t shift_op, double shift,
+                                    std::vector<double>& out) const {
+  if (shift_op != Evaluation::kNoShift) {
+    if (shift_op >= source_.num_ops())
+      throw std::out_of_range("resolve_slots: shift op index");
+    if (slot_of_src_op_[shift_op] < 0)
+      throw std::invalid_argument("resolve_slots: shift op not parameterised");
+  }
+  out.resize(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    ParamRef ref = slots_[i].ref;
+    if (slots_[i].src_op == shift_op) ref.value += shift;
+    out[i] = circuit::resolve_angle(ref, theta, input);
+  }
+}
+
+void CompiledCircuit::resolve_source_angles(std::span<const double> theta,
+                                            std::span<const double> input,
+                                            std::size_t shift_op, double shift,
+                                            std::vector<double>& out) const {
+  if (shift_op != Evaluation::kNoShift) {
+    if (shift_op >= source_.num_ops())
+      throw std::out_of_range("resolve_source_angles: shift op index");
+    if (!circuit::gate_is_parameterised(source_.op(shift_op).kind))
+      throw std::invalid_argument(
+          "resolve_source_angles: shift op not parameterised");
+  }
+  out.resize(source_.num_ops());
+  for (std::size_t i = 0; i < source_.num_ops(); ++i) {
+    ParamRef ref = source_.op(i).param;
+    if (i == shift_op) ref.value += shift;
+    out[i] = circuit::resolve_angle(ref, theta, input);
+  }
+}
+
+void CompiledCircuit::apply(sim::Statevector& sv,
+                            std::span<const double> slot_angles) const {
+  for (const auto& op : ops_) {
+    switch (op.code) {
+      case OpCode::PauliX:
+        sv.apply_pauli_x(op.q0);
+        break;
+      case OpCode::PauliY:
+        sv.apply_pauli_y(op.q0);
+        break;
+      case OpCode::PauliZ:
+        sv.apply_pauli_z(op.q0);
+        break;
+      case OpCode::Cx:
+        sv.apply_cx(op.q0, op.q1);
+        break;
+      case OpCode::Cz:
+        sv.apply_cz(op.q0, op.q1);
+        break;
+      case OpCode::Swap:
+        sv.apply_swap(op.q0, op.q1);
+        break;
+      case OpCode::Diag1q: {
+        const Matrix& m = matrices_[static_cast<std::size_t>(op.matrix)];
+        sv.apply_diag_1q(m(0, 0), m(1, 1), op.q0);
+        break;
+      }
+      case OpCode::Fixed1q:
+        sv.apply_1q(matrices_[static_cast<std::size_t>(op.matrix)], op.q0);
+        break;
+      case OpCode::Fixed2q:
+        sv.apply_2q(matrices_[static_cast<std::size_t>(op.matrix)], op.q0,
+                    op.q1);
+        break;
+      case OpCode::FixedK:
+        sv.apply_matrix(matrices_[static_cast<std::size_t>(op.matrix)],
+                        op.qubits);
+        break;
+      case OpCode::Rot1q: {
+        const double angle = slot_angles[static_cast<std::size_t>(op.slot)];
+        if (op.kind == GateKind::Rz || op.kind == GateKind::Phase) {
+          cplx m[4];
+          rot1q_entries(op.kind, angle, m);
+          sv.apply_diag_1q(m[0], m[3], op.q0);
+        } else {
+          cplx m[4];
+          rot1q_entries(op.kind, angle, m);
+          sv.apply_1q(m, op.q0);
+        }
+        break;
+      }
+      case OpCode::Rot2q: {
+        const double angle = slot_angles[static_cast<std::size_t>(op.slot)];
+        if (is_diag_2q_kind(op.kind)) {
+          cplx d[4];
+          rot2q_diag_entries(op.kind, angle, d);
+          sv.apply_diag_2q(d[0], d[1], d[2], d[3], op.q0, op.q1);
+        } else {
+          cplx m[16];
+          rot2q_entries(op.kind, angle, m);
+          sv.apply_2q(m, op.q0, op.q1);
+        }
+        break;
+      }
+      case OpCode::Fused1q: {
+        const auto [begin, end] = groups_[static_cast<std::size_t>(op.group)];
+        cplx prod[4], elem[4], tmp[4];
+        for (std::int32_t e = begin; e < end; ++e) {
+          const FusedElem& f = fused_[static_cast<std::size_t>(e)];
+          cplx* dst = (e == begin) ? prod : elem;
+          if (f.slot >= 0) {
+            rot1q_entries(f.kind, slot_angles[static_cast<std::size_t>(f.slot)],
+                          dst);
+          } else {
+            const Matrix& m = matrices_[static_cast<std::size_t>(f.matrix)];
+            dst[0] = m(0, 0);
+            dst[1] = m(0, 1);
+            dst[2] = m(1, 0);
+            dst[3] = m(1, 1);
+          }
+          if (e != begin) {
+            matmul_2x2(prod, elem, tmp);
+            for (int k = 0; k < 4; ++k) prod[k] = tmp[k];
+          }
+        }
+        sv.apply_1q(prod, op.q0);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<double> CompiledCircuit::expectations(
+    std::span<const double> theta, std::span<const double> input,
+    std::size_t shift_op, double shift) const {
+  std::vector<double> angles;
+  resolve_slots(theta, input, shift_op, shift, angles);
+  sim::Statevector sv(num_qubits());
+  apply(sv, angles);
+  return sv.expectation_z_all();
+}
+
+}  // namespace qoc::exec

@@ -4,14 +4,23 @@
 #include <stdexcept>
 
 #include "qoc/circuit/layers.hpp"
-#include "qoc/common/parallel.hpp"
 
 namespace qoc::qml {
+
+namespace {
+
+int argmax(const std::vector<double>& logits) {
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+}  // namespace
 
 QnnModel::QnnModel(std::string name, circuit::Circuit circuit,
                    autodiff::MeasurementHead head)
     : name_(std::move(name)), circuit_(std::move(circuit)),
-      head_(std::move(head)) {
+      head_(std::move(head)),
+      plan_(exec::CompiledCircuit::compile(circuit_)) {
   if (head_.num_inputs() != circuit_.num_qubits())
     throw std::invalid_argument(
         "QnnModel: head inputs must match circuit qubits");
@@ -26,16 +35,14 @@ std::vector<double> QnnModel::init_params(Prng& rng) const {
 std::vector<double> QnnModel::forward(backend::Backend& backend,
                                       std::span<const double> theta,
                                       std::span<const double> input) const {
-  const auto expvals = backend.run(circuit_, theta, input);
+  const auto expvals = backend.run(plan_, theta, input);
   return head_.forward(expvals);
 }
 
 int QnnModel::predict(backend::Backend& backend,
                       std::span<const double> theta,
                       std::span<const double> input) const {
-  const auto logits = forward(backend, theta, input);
-  return static_cast<int>(
-      std::max_element(logits.begin(), logits.end()) - logits.begin());
+  return argmax(forward(backend, theta, input));
 }
 
 double QnnModel::accuracy(backend::Backend& backend,
@@ -43,18 +50,15 @@ double QnnModel::accuracy(backend::Backend& backend,
                           const data::Dataset& dataset,
                           unsigned threads) const {
   if (dataset.size() == 0) return 0.0;
-  std::vector<unsigned char> correct(dataset.size(), 0);
-  auto judge = [&](std::size_t i) {
-    correct[i] =
-        predict(backend, theta, dataset.features[i]) == dataset.labels[i];
-  };
-  if (threads == 1) {
-    for (std::size_t i = 0; i < dataset.size(); ++i) judge(i);
-  } else {
-    parallel_for(0, dataset.size(), judge, threads);
+  std::vector<exec::Evaluation> evals(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    evals[i].theta = theta;
+    evals[i].input = dataset.features[i];
   }
+  const auto expvals = backend.run_batch(plan_, evals, threads);
   std::size_t total = 0;
-  for (const auto c : correct) total += c;
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    total += argmax(head_.forward(expvals[i])) == dataset.labels[i];
   return static_cast<double>(total) / static_cast<double>(dataset.size());
 }
 

@@ -31,10 +31,15 @@ void Statevector::set_amplitudes(std::vector<cplx> amps) {
 void Statevector::apply_1q(const Matrix& m, int qubit) {
   if (m.rows() != 2 || m.cols() != 2)
     throw std::invalid_argument("apply_1q: matrix must be 2x2");
+  const cplx mm[4] = {m(0, 0), m(0, 1), m(1, 0), m(1, 1)};
+  apply_1q(mm, qubit);
+}
+
+void Statevector::apply_1q(const cplx* m, int qubit) {
   if (qubit < 0 || qubit >= n_qubits_)
     throw std::out_of_range("apply_1q: qubit index");
   const std::size_t stride = std::size_t{1} << (n_qubits_ - 1 - qubit);
-  const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+  const cplx m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
   const std::size_t dim = amps_.size();
   for (std::size_t base = 0; base < dim; base += 2 * stride) {
     for (std::size_t off = 0; off < stride; ++off) {
@@ -51,6 +56,13 @@ void Statevector::apply_1q(const Matrix& m, int qubit) {
 void Statevector::apply_2q(const Matrix& m, int qubit_a, int qubit_b) {
   if (m.rows() != 4 || m.cols() != 4)
     throw std::invalid_argument("apply_2q: matrix must be 4x4");
+  cplx mm[16];
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) mm[r * 4 + c] = m(r, c);
+  apply_2q(mm, qubit_a, qubit_b);
+}
+
+void Statevector::apply_2q(const cplx* m, int qubit_a, int qubit_b) {
   if (qubit_a == qubit_b)
     throw std::invalid_argument("apply_2q: duplicate qubit");
   if (qubit_a < 0 || qubit_a >= n_qubits_ || qubit_b < 0 ||
@@ -62,9 +74,8 @@ void Statevector::apply_2q(const Matrix& m, int qubit_a, int qubit_b) {
   const std::size_t dim = amps_.size();
   const std::size_t mask = sa | sb;
 
-  cplx mm[4][4];
-  for (int r = 0; r < 4; ++r)
-    for (int c = 0; c < 4; ++c) mm[r][c] = m(r, c);
+  cplx mm[16];
+  for (int e = 0; e < 16; ++e) mm[e] = m[e];
 
   for (std::size_t i = 0; i < dim; ++i) {
     if (i & mask) continue;  // visit each group once, via its 00 member
@@ -74,11 +85,78 @@ void Statevector::apply_2q(const Matrix& m, int qubit_a, int qubit_b) {
     const std::size_t i11 = i | sa | sb;
     const cplx a00 = amps_[i00], a01 = amps_[i01], a10 = amps_[i10],
                a11 = amps_[i11];
-    amps_[i00] = mm[0][0] * a00 + mm[0][1] * a01 + mm[0][2] * a10 + mm[0][3] * a11;
-    amps_[i01] = mm[1][0] * a00 + mm[1][1] * a01 + mm[1][2] * a10 + mm[1][3] * a11;
-    amps_[i10] = mm[2][0] * a00 + mm[2][1] * a01 + mm[2][2] * a10 + mm[2][3] * a11;
-    amps_[i11] = mm[3][0] * a00 + mm[3][1] * a01 + mm[3][2] * a10 + mm[3][3] * a11;
+    amps_[i00] = mm[0] * a00 + mm[1] * a01 + mm[2] * a10 + mm[3] * a11;
+    amps_[i01] = mm[4] * a00 + mm[5] * a01 + mm[6] * a10 + mm[7] * a11;
+    amps_[i10] = mm[8] * a00 + mm[9] * a01 + mm[10] * a10 + mm[11] * a11;
+    amps_[i11] = mm[12] * a00 + mm[13] * a01 + mm[14] * a10 + mm[15] * a11;
   }
+}
+
+void Statevector::apply_diag_1q(cplx d0, cplx d1, int qubit) {
+  if (qubit < 0 || qubit >= n_qubits_)
+    throw std::out_of_range("apply_diag_1q: qubit index");
+  const std::size_t stride = std::size_t{1} << (n_qubits_ - 1 - qubit);
+  const std::size_t dim = amps_.size();
+  for (std::size_t i = 0; i < dim; ++i)
+    amps_[i] = ((i & stride) ? d1 : d0) * amps_[i];
+}
+
+void Statevector::apply_diag_2q(cplx d00, cplx d01, cplx d10, cplx d11,
+                                int qubit_a, int qubit_b) {
+  if (qubit_a == qubit_b)
+    throw std::invalid_argument("apply_diag_2q: duplicate qubit");
+  if (qubit_a < 0 || qubit_a >= n_qubits_ || qubit_b < 0 ||
+      qubit_b >= n_qubits_)
+    throw std::out_of_range("apply_diag_2q: qubit index");
+  const std::size_t sa = std::size_t{1} << (n_qubits_ - 1 - qubit_a);
+  const std::size_t sb = std::size_t{1} << (n_qubits_ - 1 - qubit_b);
+  const cplx d[4] = {d00, d01, d10, d11};
+  const std::size_t dim = amps_.size();
+  for (std::size_t i = 0; i < dim; ++i) {
+    const std::size_t idx =
+        (((i & sa) ? 2u : 0u) | ((i & sb) ? 1u : 0u));
+    amps_[i] = d[idx] * amps_[i];
+  }
+}
+
+void Statevector::apply_cx(int control, int target) {
+  if (control == target)
+    throw std::invalid_argument("apply_cx: duplicate qubit");
+  if (control < 0 || control >= n_qubits_ || target < 0 ||
+      target >= n_qubits_)
+    throw std::out_of_range("apply_cx: qubit index");
+  const std::size_t sc = std::size_t{1} << (n_qubits_ - 1 - control);
+  const std::size_t st = std::size_t{1} << (n_qubits_ - 1 - target);
+  const std::size_t dim = amps_.size();
+  for (std::size_t i = 0; i < dim; ++i)
+    if ((i & sc) && !(i & st)) std::swap(amps_[i], amps_[i | st]);
+}
+
+void Statevector::apply_cz(int qubit_a, int qubit_b) {
+  if (qubit_a == qubit_b)
+    throw std::invalid_argument("apply_cz: duplicate qubit");
+  if (qubit_a < 0 || qubit_a >= n_qubits_ || qubit_b < 0 ||
+      qubit_b >= n_qubits_)
+    throw std::out_of_range("apply_cz: qubit index");
+  const std::size_t sa = std::size_t{1} << (n_qubits_ - 1 - qubit_a);
+  const std::size_t sb = std::size_t{1} << (n_qubits_ - 1 - qubit_b);
+  const std::size_t both = sa | sb;
+  const std::size_t dim = amps_.size();
+  for (std::size_t i = 0; i < dim; ++i)
+    if ((i & both) == both) amps_[i] = -amps_[i];
+}
+
+void Statevector::apply_swap(int qubit_a, int qubit_b) {
+  if (qubit_a == qubit_b)
+    throw std::invalid_argument("apply_swap: duplicate qubit");
+  if (qubit_a < 0 || qubit_a >= n_qubits_ || qubit_b < 0 ||
+      qubit_b >= n_qubits_)
+    throw std::out_of_range("apply_swap: qubit index");
+  const std::size_t sa = std::size_t{1} << (n_qubits_ - 1 - qubit_a);
+  const std::size_t sb = std::size_t{1} << (n_qubits_ - 1 - qubit_b);
+  const std::size_t dim = amps_.size();
+  for (std::size_t i = 0; i < dim; ++i)
+    if ((i & sa) && !(i & sb)) std::swap(amps_[i], amps_[(i ^ sa) | sb]);
 }
 
 void Statevector::apply_matrix(const Matrix& m, const std::vector<int>& qubits) {

@@ -3,7 +3,6 @@
 #include <stdexcept>
 
 #include "qoc/autodiff/loss.hpp"
-#include "qoc/common/parallel.hpp"
 
 namespace qoc::train {
 
@@ -46,37 +45,45 @@ ParameterShiftEngine::ParameterShiftEngine(backend::Backend& backend,
   }
 }
 
-std::vector<double> ParameterShiftEngine::param_gradient(
-    std::span<const double> theta, std::span<const double> input,
-    int param_index) {
-  const auto& ops = param_ops_[static_cast<std::size_t>(param_index)];
-  std::vector<double> grad(
-      static_cast<std::size_t>(model_.circuit().num_qubits()), 0.0);
-  for (std::size_t op_idx : ops) {
-    // Eq. 2: shift this occurrence by +-pi/2 and take half the difference.
-    const auto plus_circuit = with_op_offset(model_.circuit(), op_idx, kHalfPi);
-    const auto minus_circuit =
-        with_op_offset(model_.circuit(), op_idx, -kHalfPi);
-    const auto f_plus = backend_.run(plus_circuit, theta, input);
-    const auto f_minus = backend_.run(minus_circuit, theta, input);
-    for (std::size_t q = 0; q < grad.size(); ++q)
-      grad[q] += 0.5 * (f_plus[q] - f_minus[q]);
+std::vector<std::pair<int, std::size_t>> ParameterShiftEngine::shift_list(
+    const std::vector<bool>* mask) const {
+  std::vector<std::pair<int, std::size_t>> shifts;
+  for (int i = 0; i < model_.num_params(); ++i) {
+    if (mask && !(*mask)[static_cast<std::size_t>(i)]) continue;
+    for (const std::size_t op_idx : param_ops_[static_cast<std::size_t>(i)])
+      shifts.emplace_back(i, op_idx);
   }
-  return grad;
+  return shifts;
 }
 
 std::vector<std::vector<double>> ParameterShiftEngine::jacobian(
     std::span<const double> theta, std::span<const double> input) {
   const int n_qubits = model_.circuit().num_qubits();
   const int n_params = model_.num_params();
+
+  // Eq. 2 for every parameter occurrence, submitted as ONE batch against
+  // the model's compiled plan: +-pi/2 shifts are slot offsets, so no
+  // circuit is copied and no structure is re-lowered.
+  const auto shifts = shift_list(nullptr);
+  std::vector<exec::Evaluation> evals;
+  evals.reserve(2 * shifts.size());
+  for (const auto& [i, op_idx] : shifts) {
+    evals.push_back({theta, input, op_idx, kHalfPi});
+    evals.push_back({theta, input, op_idx, -kHalfPi});
+  }
+  const auto f = backend_.run_batch(model_.plan(), evals, threads_);
+
   std::vector<std::vector<double>> jac(
       static_cast<std::size_t>(n_qubits),
       std::vector<double>(static_cast<std::size_t>(n_params), 0.0));
-  for (int i = 0; i < n_params; ++i) {
-    const auto dfi = param_gradient(theta, input, i);
+  for (std::size_t s = 0; s < shifts.size(); ++s) {
+    const auto i = static_cast<std::size_t>(shifts[s].first);
+    const auto& f_plus = f[2 * s];
+    const auto& f_minus = f[2 * s + 1];
     for (int q = 0; q < n_qubits; ++q)
-      jac[static_cast<std::size_t>(q)][static_cast<std::size_t>(i)] =
-          dfi[static_cast<std::size_t>(q)];
+      jac[static_cast<std::size_t>(q)][i] +=
+          0.5 * (f_plus[static_cast<std::size_t>(q)] -
+                 f_minus[static_cast<std::size_t>(q)]);
   }
   return jac;
 }
@@ -98,44 +105,59 @@ BatchGradient ParameterShiftEngine::batch_gradient(
     if (idx >= dataset.size())
       throw std::out_of_range("batch_gradient: batch index");
 
-  // Per-example work is independent; results are accumulated afterwards
-  // in batch order so the floating-point sum is thread-count invariant.
-  std::vector<double> losses(batch.size(), 0.0);
-  std::vector<std::vector<double>> grads(
-      batch.size(), std::vector<double>(static_cast<std::size_t>(n_params),
-                                        0.0));
-  auto example_gradient = [&](std::size_t k) {
-    const std::size_t idx = batch[k];
+  // One batched submission for the whole step: per example, the
+  // unshifted run (loss + dL/df) followed by the +-pi/2 pair of every
+  // active parameter occurrence, all against the model's compiled plan.
+  // The backend fans evaluations over threads; results come back indexed,
+  // so the combination below is fixed in batch order and the final
+  // gradient is thread-count invariant.
+  const auto shifts = shift_list(mask);
+  const std::size_t per_example = 1 + 2 * shifts.size();
+  std::vector<exec::Evaluation> evals;
+  evals.reserve(batch.size() * per_example);
+  for (const std::size_t idx : batch) {
     const auto& x = dataset.features[idx];
-    const int y = dataset.labels[idx];
+    evals.push_back({theta, x, exec::Evaluation::kNoShift, 0.0});
+    for (const auto& [i, op_idx] : shifts) {
+      evals.push_back({theta, x, op_idx, kHalfPi});
+      evals.push_back({theta, x, op_idx, -kHalfPi});
+    }
+  }
+  const auto f = backend_.run_batch(model_.plan(), evals, threads_);
 
-    // Unshifted run: loss + downstream gradients dL/df (Fig. 4, right).
-    const auto expvals = backend_.run(model_.circuit(), theta, x);
-    const auto logits = model_.head().forward(expvals);
-    losses[k] = autodiff::cross_entropy(logits, y);
+  const std::size_t n_qubits =
+      static_cast<std::size_t>(model_.circuit().num_qubits());
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const std::size_t base = k * per_example;
+    const int y = dataset.labels[batch[k]];
+
+    // Loss + downstream gradients dL/df from the unshifted run (Fig. 4,
+    // right).
+    const auto logits = model_.head().forward(f[base]);
+    out.loss += autodiff::cross_entropy(logits, y);
     const auto grad_logits = autodiff::cross_entropy_grad(logits, y);
     const auto grad_f = model_.head().backward(grad_logits);
 
-    // Upstream Jacobian via parameter shift, masked (Fig. 4, left), then
-    // the dot product dL/dtheta_i = sum_q dL/df_q * df_q/dtheta_i.
-    for (int i = 0; i < n_params; ++i) {
-      if (mask && !(*mask)[static_cast<std::size_t>(i)]) continue;
-      const auto dfi = param_gradient(theta, x, i);
+    // Upstream Jacobian via parameter shift (Fig. 4, left), then the dot
+    // product dL/dtheta_i = sum_q dL/df_q * df_q/dtheta_i. Occurrences of
+    // one parameter are contiguous in the shift list.
+    std::size_t pos = base + 1;
+    std::size_t s = 0;
+    while (s < shifts.size()) {
+      const int i = shifts[s].first;
+      std::vector<double> dfi(n_qubits, 0.0);
+      while (s < shifts.size() && shifts[s].first == i) {
+        const auto& f_plus = f[pos];
+        const auto& f_minus = f[pos + 1];
+        pos += 2;
+        ++s;
+        for (std::size_t q = 0; q < n_qubits; ++q)
+          dfi[q] += 0.5 * (f_plus[q] - f_minus[q]);
+      }
       double dot = 0.0;
-      for (std::size_t q = 0; q < dfi.size(); ++q) dot += grad_f[q] * dfi[q];
-      grads[k][static_cast<std::size_t>(i)] = dot;
+      for (std::size_t q = 0; q < n_qubits; ++q) dot += grad_f[q] * dfi[q];
+      out.grad[static_cast<std::size_t>(i)] += dot;
     }
-  };
-  if (threads_ == 1) {
-    for (std::size_t k = 0; k < batch.size(); ++k) example_gradient(k);
-  } else {
-    parallel_for(0, batch.size(), example_gradient, threads_);
-  }
-
-  for (std::size_t k = 0; k < batch.size(); ++k) {
-    out.loss += losses[k];
-    for (std::size_t i = 0; i < out.grad.size(); ++i)
-      out.grad[i] += grads[k][i];
   }
   const double inv = 1.0 / static_cast<double>(batch.size());
   for (auto& g : out.grad) g *= inv;
@@ -148,12 +170,19 @@ double ParameterShiftEngine::batch_loss(std::span<const double> theta,
                                         const data::Dataset& dataset,
                                         std::span<const std::size_t> batch) {
   if (batch.empty()) throw std::invalid_argument("batch_loss: empty batch");
+  for (const std::size_t idx : batch)
+    if (idx >= dataset.size())
+      throw std::out_of_range("batch_loss: batch index");
+  std::vector<exec::Evaluation> evals(batch.size());
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    evals[k].theta = theta;
+    evals[k].input = dataset.features[batch[k]];
+  }
+  const auto f = backend_.run_batch(model_.plan(), evals, threads_);
   double loss = 0.0;
-  for (const std::size_t idx : batch) {
-    const auto expvals = backend_.run(model_.circuit(), theta,
-                                      dataset.features[idx]);
-    const auto logits = model_.head().forward(expvals);
-    loss += autodiff::cross_entropy(logits, dataset.labels[idx]);
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const auto logits = model_.head().forward(f[k]);
+    loss += autodiff::cross_entropy(logits, dataset.labels[batch[k]]);
   }
   return loss / static_cast<double>(batch.size());
 }

@@ -364,6 +364,57 @@ Transpiled transpile(const circuit::Circuit& c, std::span<const double> theta,
   return t;
 }
 
+RoutedTemplate route_template(const circuit::Circuit& c,
+                              const noise::DeviceModel& device) {
+  // Run the normal decompose + route pipeline with each parameterised
+  // op's angle field carrying its source-op index instead of a bound
+  // value. Neither pass creates parameterised ops or reads angles, so the
+  // tags survive routing verbatim.
+  std::vector<BoundOp> tagged;
+  tagged.reserve(c.num_ops());
+  for (std::size_t i = 0; i < c.num_ops(); ++i) {
+    const auto& op = c.op(i);
+    const double tag = circuit::gate_is_parameterised(op.kind)
+                           ? static_cast<double>(i)
+                           : 0.0;
+    tagged.push_back(BoundOp{op.kind, op.qubits, tag});
+  }
+  auto routed = route(decompose_multiqubit(tagged), c.num_qubits(), device);
+
+  RoutedTemplate t;
+  t.ops.reserve(routed.ops.size());
+  for (auto& op : routed.ops) {
+    RoutedTemplate::TOp top;
+    top.kind = op.kind;
+    top.qubits = std::move(op.qubits);
+    if (circuit::gate_is_parameterised(op.kind))
+      top.src = static_cast<std::int32_t>(op.angle);
+    t.ops.push_back(std::move(top));
+  }
+  t.final_layout = std::move(routed.final_layout);
+  t.n_swaps_inserted = routed.n_swaps_inserted;
+  t.n_logical = c.num_qubits();
+  return t;
+}
+
+Transpiled transpile_with_angles(const RoutedTemplate& t,
+                                 std::span<const double> source_angles,
+                                 const noise::DeviceModel& device) {
+  std::vector<BoundOp> bound;
+  bound.reserve(t.ops.size());
+  for (const auto& op : t.ops) {
+    const double angle =
+        op.src >= 0 ? source_angles[static_cast<std::size_t>(op.src)] : 0.0;
+    bound.push_back(BoundOp{op.kind, op.qubits, angle});
+  }
+  Transpiled out;
+  out.ops = optimize(lower_to_basis(bound));
+  out.final_layout = t.final_layout;
+  out.n_swaps_inserted = t.n_swaps_inserted;
+  out.stats = compute_stats(out.ops, device.n_qubits);
+  return out;
+}
+
 double estimated_success_probability(const Transpiled& t,
                                      const noise::DeviceModel& device) {
   double p = 1.0;
