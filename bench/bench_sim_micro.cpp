@@ -102,6 +102,22 @@ void BM_ParameterShiftJacobian(benchmark::State& state) {
 }
 BENCHMARK(BM_ParameterShiftJacobian);
 
+void BM_ParameterShiftJacobianPooled(benchmark::State& state) {
+  // Same Jacobian fanned over the persistent thread pool (0 = one worker
+  // per hardware core). Before the pool, this configuration spawned and
+  // joined fresh std::threads on every ~tens-of-microseconds batch.
+  const qml::QnnModel model = qml::make_mnist2_model();
+  backend::StatevectorBackend backend(0);
+  train::ParameterShiftEngine engine(backend, model);
+  engine.set_threads(0);
+  Prng rng(5);
+  const auto theta = model.init_params(rng);
+  const std::vector<double> input(16, 0.5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.jacobian(theta, input));
+}
+BENCHMARK(BM_ParameterShiftJacobianPooled);
+
 // ---- Compiled execution plans ----------------------------------------------
 // The bind-once-run-many engine vs the generic per-run path, on the same
 // circuit and bindings.

@@ -1,0 +1,141 @@
+// VQE benchmarks: Hamiltonian energy evaluation and parameter-shift
+// energy sweeps, legacy per-term path vs the compiled expect_batch
+// engine (one ansatz state per evaluation, one measured execution per
+// commuting group, fanned over the persistent thread pool).
+
+#include <benchmark/benchmark.h>
+
+#include "qoc/backend/backend.hpp"
+#include "qoc/circuit/circuit.hpp"
+#include "qoc/common/prng.hpp"
+#include "qoc/exec/compiled_circuit.hpp"
+#include "qoc/exec/observable.hpp"
+#include "qoc/vqe/vqe.hpp"
+
+namespace {
+
+using namespace qoc;
+using vqe::EnergyEstimator;
+using vqe::EstimatorOptions;
+using vqe::Hamiltonian;
+using vqe::VqeSolver;
+
+constexpr double kHalfPi = 1.5707963267948966;
+
+struct Fixture {
+  Hamiltonian h;
+  circuit::Circuit ansatz;
+  exec::CompiledCircuit plan;
+  exec::CompiledObservable obs;
+  std::vector<double> theta;
+
+  static Fixture heisenberg(int n_qubits, int depth) {
+    Hamiltonian h = Hamiltonian::heisenberg(n_qubits, 1.0);
+    circuit::Circuit ansatz =
+        VqeSolver::hardware_efficient_ansatz(n_qubits, depth);
+    exec::CompiledCircuit plan = exec::CompiledCircuit::compile(ansatz);
+    exec::CompiledObservable obs = vqe::compile_observable(h);
+    Prng rng(17);
+    std::vector<double> theta(
+        static_cast<std::size_t>(ansatz.num_trainable()));
+    for (auto& t : theta) t = rng.uniform(-1.0, 1.0);
+    return {std::move(h), std::move(ansatz), std::move(plan), std::move(obs),
+            std::move(theta)};
+  }
+};
+
+void BM_VqeEnergyExactLegacy(benchmark::State& state) {
+  // The pre-batching estimator path: uncompiled state preparation
+  // (resolve every ParamRef, build every gate matrix, generic dense
+  // kernel) followed by the per-term Hamiltonian loop.
+  const auto f = Fixture::heisenberg(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    sim::Statevector psi(f.ansatz.num_qubits());
+    for (const auto& op : f.ansatz.ops()) {
+      const double angle = circuit::resolve_angle(op.param, f.theta, {});
+      psi.apply_matrix(circuit::gate_matrix(op.kind, angle), op.qubits);
+    }
+    benchmark::DoNotOptimize(f.h.expectation(psi));
+  }
+}
+BENCHMARK(BM_VqeEnergyExactLegacy)->Arg(4)->Arg(8);
+
+void BM_VqeEnergyExactCompiled(benchmark::State& state) {
+  // Same energy through the compiled plan + observable (bit-identical
+  // results; see tests/test_backend.cpp).
+  const auto f = Fixture::heisenberg(static_cast<int>(state.range(0)), 3);
+  EnergyEstimator est(f.h);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(est.energy(f.ansatz, f.theta));
+}
+BENCHMARK(BM_VqeEnergyExactCompiled)->Arg(4)->Arg(8);
+
+void BM_VqeEnergySampledGrouped(benchmark::State& state) {
+  // Finite-shot estimate: one measured execution per commuting group.
+  const auto f = Fixture::heisenberg(4, 3);
+  EstimatorOptions opt;
+  opt.shots = static_cast<int>(state.range(0));
+  EnergyEstimator est(f.h, opt);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(est.energy(f.ansatz, f.theta));
+}
+BENCHMARK(BM_VqeEnergySampledGrouped)->Arg(256)->Arg(1024);
+
+void BM_VqeGradientSweep(benchmark::State& state) {
+  // Full parameter-shift energy sweep (2 evaluations per parameter
+  // occurrence) submitted as ONE energies() batch; range(0) = worker
+  // threads (0 = one per hardware core).
+  const auto f = Fixture::heisenberg(4, 3);
+  EnergyEstimator est(f.h);
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  std::vector<exec::Evaluation> evals;
+  for (std::size_t op = 0; op < f.ansatz.num_ops(); ++op) {
+    if (!circuit::gate_is_parameterised(f.ansatz.op(op).kind)) continue;
+    evals.push_back({f.theta, {}, op, kHalfPi});
+    evals.push_back({f.theta, {}, op, -kHalfPi});
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(est.energies(f.ansatz, evals, threads));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(evals.size()));
+}
+BENCHMARK(BM_VqeGradientSweep)->Arg(1)->Arg(0);
+
+void BM_ExpectBatchStatevector(benchmark::State& state) {
+  // Backend-level batched expectations: range(0) evaluations per call.
+  const auto f = Fixture::heisenberg(4, 3);
+  backend::StatevectorBackend qc(0);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<exec::Evaluation> evals(
+      n, {f.theta, {}, exec::Evaluation::kNoShift, 0.0});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(qc.expect_batch(f.plan, f.obs, evals, 0));
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ExpectBatchStatevector)->Arg(16)->Arg(64);
+
+void BM_VqeStepH2(benchmark::State& state) {
+  // One full optimisation step's worth of energy evaluations on H2.
+  const Hamiltonian h = Hamiltonian::h2_minimal();
+  const auto ansatz = VqeSolver::hardware_efficient_ansatz(2, 2);
+  EnergyEstimator est(h);
+  Prng rng(19);
+  std::vector<double> theta(static_cast<std::size_t>(ansatz.num_trainable()));
+  for (auto& t : theta) t = rng.uniform(-0.5, 0.5);
+  std::vector<exec::Evaluation> evals;
+  evals.push_back({theta, {}, exec::Evaluation::kNoShift, 0.0});
+  for (std::size_t op = 0; op < ansatz.num_ops(); ++op) {
+    if (!circuit::gate_is_parameterised(ansatz.op(op).kind)) continue;
+    evals.push_back({theta, {}, op, kHalfPi});
+    evals.push_back({theta, {}, op, -kHalfPi});
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(est.energies(ansatz, evals, 1));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(evals.size()));
+}
+BENCHMARK(BM_VqeStepH2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -30,6 +30,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -38,8 +39,10 @@
 #include "qoc/circuit/circuit.hpp"
 #include "qoc/common/prng.hpp"
 #include "qoc/exec/compiled_circuit.hpp"
+#include "qoc/exec/observable.hpp"
 #include "qoc/noise/channels.hpp"
 #include "qoc/noise/device_model.hpp"
+#include "qoc/sim/density_matrix.hpp"
 #include "qoc/transpile/transpile.hpp"
 
 namespace qoc::backend {
@@ -77,6 +80,26 @@ class Backend {
     return execute_batch(plan, evals, threads);
   }
 
+  /// Batched Hamiltonian expectations: one energy per evaluation,
+  /// <H> = observable.constant() + sum of term expectations of the
+  /// ansatz state ansatz(theta)|0>. Sampling backends measure once per
+  /// commuting group (not once per term), applying the group's
+  /// basis-change suffix to the prepared state; exact backends evaluate
+  /// every term analytically from one execution. Exact statevector
+  /// results are bit-identical to the per-term loop
+  /// (vqe::Hamiltonian::expectation). Threading semantics match
+  /// run_batch: results are independent of `threads` and deterministic
+  /// in submission order. Inference accounting: one count per measured
+  /// execution (evals x groups when sampling, evals when exact).
+  std::vector<double> expect_batch(const exec::CompiledCircuit& plan,
+                                   const exec::CompiledObservable& observable,
+                                   std::span<const exec::Evaluation> evals,
+                                   unsigned threads = 1) {
+    if (observable.num_qubits() != plan.num_qubits())
+      throw std::invalid_argument("expect_batch: qubit count mismatch");
+    return execute_expect_batch(plan, observable, evals, threads);
+  }
+
   virtual std::string name() const = 0;
 
   /// Total number of circuit executions since construction / last reset.
@@ -99,6 +122,22 @@ class Backend {
   virtual std::vector<std::vector<double>> execute_batch(
       const exec::CompiledCircuit& plan,
       std::span<const exec::Evaluation> evals, unsigned threads);
+
+  /// Batched Hamiltonian expectation. Joint Pauli products cannot be
+  /// reconstructed from execute()'s per-qubit <Z>, so there is no
+  /// generic fallback: the default throws, and backends with native
+  /// state access override. Implementations do their own inference
+  /// accounting via add_inferences (one per measured execution).
+  virtual std::vector<double> execute_expect_batch(
+      const exec::CompiledCircuit& plan,
+      const exec::CompiledObservable& observable,
+      std::span<const exec::Evaluation> evals, unsigned threads);
+
+  /// Inference-count bump for paths that bypass the run()/run_batch()
+  /// wrappers (execute_expect_batch implementations).
+  void add_inferences(std::uint64_t n) {
+    inferences_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   /// Compile-or-reuse a plan for `c`, keyed on its structural signature.
   /// Lets the circuit-based run() path share all plan-level caching. The
@@ -145,6 +184,10 @@ class StatevectorBackend final : public Backend {
   std::vector<std::vector<double>> execute_batch(
       const exec::CompiledCircuit& plan,
       std::span<const exec::Evaluation> evals, unsigned threads) override;
+  std::vector<double> execute_expect_batch(
+      const exec::CompiledCircuit& plan,
+      const exec::CompiledObservable& observable,
+      std::span<const exec::Evaluation> evals, unsigned threads) override;
 
  private:
   int shots_;
@@ -178,10 +221,17 @@ class TranspileCache {
 
  private:
   std::mutex mutex_;
-  // signature -> template; bounded by clearing at a fixed cap.
-  std::unordered_map<std::string,
-                     std::shared_ptr<const transpile::RoutedTemplate>>
+  // Probed by the cheap structure_hash, but every hash hit is verified
+  // against the full signature string before a template is served: the
+  // exec header explicitly allows hash collisions, and serving a
+  // colliding entry would route the wrong circuit. Bounded by clearing
+  // wholesale at a fixed cap.
+  std::unordered_map<
+      std::uint64_t,
+      std::vector<std::pair<std::string,
+                            std::shared_ptr<const transpile::RoutedTemplate>>>>
       cache_;
+  std::size_t entries_ = 0;
 };
 
 /// Exact noisy execution via density-matrix evolution: the same device
@@ -213,8 +263,13 @@ class DensityMatrixBackend final : public Backend {
   std::vector<std::vector<double>> execute_batch(
       const exec::CompiledCircuit& plan,
       std::span<const exec::Evaluation> evals, unsigned threads) override;
+  std::vector<double> execute_expect_batch(
+      const exec::CompiledCircuit& plan,
+      const exec::CompiledObservable& observable,
+      std::span<const exec::Evaluation> evals, unsigned threads) override;
 
  private:
+  sim::DensityMatrix evolve_transpiled(const transpile::Transpiled& t) const;
   std::vector<double> run_transpiled(const transpile::Transpiled& t,
                                      int n_logical) const;
 
@@ -247,11 +302,34 @@ class NoisyBackend final : public Backend {
   std::vector<std::vector<double>> execute_batch(
       const exec::CompiledCircuit& plan,
       std::span<const exec::Evaluation> evals, unsigned threads) override;
+  std::vector<double> execute_expect_batch(
+      const exec::CompiledCircuit& plan,
+      const exec::CompiledObservable& observable,
+      std::span<const exec::Evaluation> evals, unsigned threads) override;
 
  private:
+  /// Batch-invariant noise model tables (depolarizing rates, per-qubit
+  /// relaxation channels and readout-error models): built once per
+  /// run_batch / expect_batch call instead of once per evaluation.
+  /// Defined in backend.cpp.
+  struct NoiseTables;
+
+  /// Independent RNG stream for one execution; trajectories split from
+  /// it so concurrent executions do not interleave draws. Shared by the
+  /// run and expect paths -- their serials come from the same
+  /// run_serial_ counter, which is what keeps batched results
+  /// deterministic in submission order.
+  Prng execution_rng(std::uint64_t serial) const {
+    return Prng(options_.seed + 0x9E3779B97F4A7C15ULL * (serial + 1));
+  }
+
   std::vector<double> run_transpiled(const transpile::Transpiled& t,
-                                     int n_logical,
+                                     const NoiseTables& tables, int n_logical,
                                      std::uint64_t serial) const;
+  double expect_transpiled(const transpile::Transpiled& t,
+                           const NoiseTables& tables,
+                           const exec::CompiledObservable& observable,
+                           std::uint64_t serial) const;
 
   noise::DeviceModel device_;
   NoisyBackendOptions options_;

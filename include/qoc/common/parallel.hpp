@@ -1,61 +1,50 @@
 #pragma once
-// Minimal data-parallel helper used by the backends to fan trajectory /
-// batch work across hardware threads. Deliberately tiny: a blocking
-// parallel_for with static chunking, no work stealing, no global state.
+// Data-parallel helpers used by the backends to fan trajectory / batch
+// work across hardware threads. Both entry points route through the
+// shared persistent qoc::common::ThreadPool -- no per-call thread spawns
+// (PR 1 created and joined fresh std::threads on every call, which
+// dominated small-batch run_batch latency).
+//
+// Calls made from inside a pool worker (nested parallelism) run inline
+// on that worker instead of re-entering the queue, so nesting can
+// neither deadlock nor oversubscribe the machine.
 
-#include <algorithm>
 #include <cstddef>
-#include <exception>
-#include <thread>
 #include <type_traits>
-#include <vector>
+
+#include "qoc/common/thread_pool.hpp"
 
 namespace qoc {
 
-/// Number of worker threads to use by default (>= 1).
-inline unsigned hardware_threads() {
-  const unsigned n = std::thread::hardware_concurrency();
-  return n == 0 ? 1u : n;
-}
-
-/// Invoke fn(i) for i in [begin, end), splitting the range statically over
-/// up to max_threads workers. fn must be safe to call concurrently for
-/// distinct i. Exceptions from workers are rethrown on the calling thread
-/// (first one wins). The callable is invoked directly (no std::function
-/// indirection), so per-index bodies inline into the worker loop.
+/// Invoke fn(i) for i in [begin, end), fanning chunks of the range over
+/// up to max_threads participating threads (0 = one per hardware core;
+/// the calling thread participates). fn must be safe to call
+/// concurrently for distinct i. Exceptions from workers are rethrown on
+/// the calling thread (first one wins). The callable is invoked directly
+/// (no std::function indirection), so per-index bodies inline into the
+/// chunk loop.
 template <typename Fn,
           typename = std::enable_if_t<std::is_invocable_v<Fn&, std::size_t>>>
 inline void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
                          unsigned max_threads = 0) {
-  if (end <= begin) return;
-  const std::size_t n = end - begin;
-  unsigned workers = max_threads == 0 ? hardware_threads() : max_threads;
-  workers = static_cast<unsigned>(
-      std::min<std::size_t>(workers, n));
-  if (workers <= 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  std::vector<std::exception_ptr> errors(workers);
-  const std::size_t chunk = (n + workers - 1) / workers;
-  for (unsigned w = 0; w < workers; ++w) {
-    const std::size_t lo = begin + static_cast<std::size_t>(w) * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    pool.emplace_back([lo, hi, &fn, &errors, w] {
-      try {
+  common::ThreadPool::global().run_chunked(
+      begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) fn(i);
-      } catch (...) {
-        errors[w] = std::current_exception();
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
+      },
+      max_threads);
+}
+
+/// Chunk-granular variant: fn(lo, hi) is called once per contiguous
+/// chunk, letting the body hoist per-thread scratch (statevectors, angle
+/// buffers) out of the index loop. Same threading, exception and nesting
+/// semantics as parallel_for.
+template <typename Fn, typename = std::enable_if_t<
+                           std::is_invocable_v<Fn&, std::size_t, std::size_t>>>
+inline void parallel_for_chunked(std::size_t begin, std::size_t end, Fn&& fn,
+                                 unsigned max_threads = 0) {
+  common::ThreadPool::global().run_chunked(begin, end, std::forward<Fn>(fn),
+                                           max_threads);
 }
 
 }  // namespace qoc

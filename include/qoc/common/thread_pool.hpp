@@ -1,0 +1,143 @@
+#pragma once
+// Persistent worker-thread pool.
+//
+// PR 1's parallel_for spawned and joined fresh std::threads on every
+// call, which dominates small-batch run_batch latency: a gradient step
+// submits hundreds of sub-millisecond batches, each paying thread
+// creation + teardown. ThreadPool keeps a fixed set of workers alive for
+// the process lifetime and hands them chunked index ranges instead.
+//
+// Properties:
+//   * Blocking API: run_chunked() returns only when every chunk has
+//     executed, so callers keep the simple fork/join structure of the
+//     old parallel_for.
+//   * Chunked dynamic scheduling: the range is cut into ~4 chunks per
+//     participating thread and workers claim chunks with an atomic
+//     cursor, so uneven per-index cost load-balances without work
+//     stealing.
+//   * The calling thread participates: a run at concurrency k uses the
+//     caller plus k-1 pool workers, so a pool of hardware_threads()
+//     workers can saturate the machine even while the caller blocks.
+//   * Exception propagation: the first exception thrown by any chunk is
+//     rethrown on the calling thread; later chunks are skipped (their
+//     claims are drained without executing).
+//   * Nested-submission safety: a run submitted from inside a pool
+//     worker executes inline on that worker instead of re-entering the
+//     queue. This cannot deadlock and cannot oversubscribe -- nested
+//     parallelism degrades to the sequential semantics it would have
+//     had anyway once all workers are busy.
+//
+// The shared process-wide instance is ThreadPool::global(); parallel_for
+// (qoc/common/parallel.hpp) routes through it.
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace qoc {
+
+/// Number of worker threads to use by default (>= 1). Cached: the
+/// underlying sysconf costs ~a microsecond per query, which is visible
+/// on every max_threads == 0 dispatch of a small batch.
+inline unsigned hardware_threads() {
+  static const unsigned n = [] {
+    const unsigned v = std::thread::hardware_concurrency();
+    return v == 0 ? 1u : v;
+  }();
+  return n;
+}
+
+namespace common {
+
+class ThreadPool {
+ public:
+  /// `workers` == 0 means one worker per hardware core.
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Process-wide shared pool (hardware_threads() workers, created on
+  /// first use). All qoc parallel execution funnels through this one
+  /// instance so concurrent batches share a bounded set of threads.
+  static ThreadPool& global();
+
+  /// True when the calling thread is a pool worker (of any ThreadPool).
+  /// parallel_for uses this to run nested submissions inline.
+  static bool on_worker_thread();
+
+  /// Invoke fn(lo, hi) over disjoint chunks covering [begin, end),
+  /// blocking until all chunks completed. `max_concurrency` bounds the
+  /// number of participating threads (caller included); 0 means one per
+  /// hardware core. Chunks never get smaller than min_chunk indices.
+  /// Runs inline when the effective concurrency is 1, the range is
+  /// empty, or the caller is itself a pool worker.
+  template <typename ChunkFn,
+            typename = std::enable_if_t<
+                std::is_invocable_v<ChunkFn&, std::size_t, std::size_t>>>
+  void run_chunked(std::size_t begin, std::size_t end, ChunkFn&& fn,
+                   unsigned max_concurrency = 0, std::size_t min_chunk = 1) {
+    if (end <= begin) return;
+    const std::size_t n = end - begin;
+    std::size_t target =
+        max_concurrency == 0 ? hardware_threads() : max_concurrency;
+    target = std::min<std::size_t>(target, n);
+    if (target <= 1 || size() == 0 || on_worker_thread()) {
+      fn(begin, end);
+      return;
+    }
+    run_impl(
+        begin, end,
+        [](void* ctx, std::size_t lo, std::size_t hi) {
+          (*static_cast<std::remove_reference_t<ChunkFn>*>(ctx))(lo, hi);
+        },
+        &fn, static_cast<unsigned>(target), min_chunk);
+  }
+
+ private:
+  using ChunkFnPtr = void (*)(void* ctx, std::size_t lo, std::size_t hi);
+
+  /// One blocking parallel region. Heap-allocated because stale queue
+  /// tickets may outlive the submitting call (a worker can pop a ticket
+  /// after all chunks are drained and find nothing to do).
+  struct Job {
+    ChunkFnPtr fn = nullptr;
+    void* ctx = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunk = 1;
+    std::size_t n_chunks = 0;
+    std::atomic<std::size_t> next{0};  // next unclaimed chunk
+    std::atomic<std::size_t> done{0};  // completed chunks
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  // first exception; guarded by error_mutex
+    std::mutex error_mutex;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+
+  void run_impl(std::size_t begin, std::size_t end, ChunkFnPtr fn, void* ctx,
+                unsigned target, std::size_t min_chunk);
+  void worker_loop();
+  static void help(Job& job);  // claim and execute chunks until drained
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> tickets_;  // pending help requests
+  bool stop_ = false;
+};
+
+}  // namespace common
+}  // namespace qoc

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "qoc/exec/observable.hpp"
 #include "qoc/linalg/matrix.hpp"
 #include "qoc/sim/statevector.hpp"
 
@@ -59,5 +60,12 @@ class Hamiltonian {
   int n_qubits_;
   std::vector<PauliTerm> terms_;
 };
+
+/// Lower a Hamiltonian into the exec layer's commuting-grouped
+/// measurement program (see exec::CompiledObservable): identity terms
+/// fold into a constant, the rest pack into qubit-wise commuting groups
+/// with one basis-change suffix each. This is what
+/// Backend::expect_batch and the EnergyEstimator consume.
+exec::CompiledObservable compile_observable(const Hamiltonian& hamiltonian);
 
 }  // namespace qoc::vqe

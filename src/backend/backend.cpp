@@ -1,5 +1,6 @@
 #include "qoc/backend/backend.hpp"
 
+#include <bit>
 #include <cmath>
 #include <functional>
 #include <stdexcept>
@@ -79,19 +80,46 @@ std::vector<std::vector<double>> Backend::execute_batch(
   return results;
 }
 
+std::vector<double> Backend::execute_expect_batch(
+    const exec::CompiledCircuit& plan,
+    const exec::CompiledObservable& observable,
+    std::span<const exec::Evaluation> evals, unsigned threads) {
+  // Joint Pauli products (<Z_i Z_j ...>) cannot be reconstructed from
+  // execute()'s per-qubit <Z_q>, so there is no generic fallback.
+  (void)plan;
+  (void)observable;
+  (void)evals;
+  (void)threads;
+  throw std::logic_error(name() +
+                         ": expect_batch requires native state access");
+}
+
 // ---------------------------------------------------------------------------
 // TranspileCache
 // ---------------------------------------------------------------------------
 
 std::shared_ptr<const transpile::RoutedTemplate> TranspileCache::get(
     const exec::CompiledCircuit& plan, const noise::DeviceModel& device) {
+  // Probe by the cheap structure hash, but NEVER trust a hash hit alone:
+  // structure_hash() explicitly allows collisions, and serving a
+  // colliding entry would execute the wrong routed program. Every hit is
+  // verified against the full canonical signature.
   const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = cache_.find(plan.signature());
-  if (it != cache_.end()) return it->second;
-  if (cache_.size() >= kTranspileCacheCap) cache_.clear();
+  const auto it = cache_.find(plan.structure_hash());
+  if (it != cache_.end())
+    for (const auto& [sig, tmpl] : it->second)
+      if (sig == plan.signature()) return tmpl;
+  if (entries_ >= kTranspileCacheCap) {
+    cache_.clear();
+    entries_ = 0;
+  }
+  // Route before touching the map: route_template throws for unroutable
+  // circuits, and an early insert would leak an empty bucket the
+  // entries_ cap never sees.
   auto tmpl = std::make_shared<const transpile::RoutedTemplate>(
       transpile::route_template(plan.source(), device));
-  cache_.emplace(plan.signature(), tmpl);
+  cache_[plan.structure_hash()].emplace_back(plan.signature(), tmpl);
+  ++entries_;
   return tmpl;
 }
 
@@ -136,15 +164,20 @@ std::vector<std::vector<double>> StatevectorBackend::execute_batch(
 
   if (shots_ == 0) {
     // Exact mode: stateless, lock-free; scales linearly with threads.
-    parallel_for(
+    // Chunked so the angle buffer and statevector are constructed once
+    // per worker chunk instead of once per evaluation.
+    parallel_for_chunked(
         0, evals.size(),
-        [&](std::size_t k) {
-          const auto& e = evals[k];
+        [&](std::size_t lo, std::size_t hi) {
           std::vector<double> angles;
-          plan.resolve_slots(e.theta, e.input, e.shift_op, e.shift, angles);
           sim::Statevector sv(n);
-          plan.apply(sv, angles);
-          results[k] = sv.expectation_z_all();
+          for (std::size_t k = lo; k < hi; ++k) {
+            const auto& e = evals[k];
+            plan.resolve_slots(e.theta, e.input, e.shift_op, e.shift, angles);
+            sv.reset();
+            plan.apply(sv, angles);
+            results[k] = sv.expectation_z_all();
+          }
         },
         threads);
     return results;
@@ -160,16 +193,93 @@ std::vector<std::vector<double>> StatevectorBackend::execute_batch(
     for (std::size_t k = 0; k < evals.size(); ++k)
       rngs.push_back(rng_.split());
   }
-  parallel_for(
+  parallel_for_chunked(
       0, evals.size(),
-      [&](std::size_t k) {
-        const auto& e = evals[k];
+      [&](std::size_t lo, std::size_t hi) {
         std::vector<double> angles;
-        plan.resolve_slots(e.theta, e.input, e.shift_op, e.shift, angles);
         sim::Statevector sv(n);
-        plan.apply(sv, angles);
-        const auto samples = sv.sample(shots_, rngs[k]);
-        results[k] = expectations_from_samples(samples, n, shots_);
+        for (std::size_t k = lo; k < hi; ++k) {
+          const auto& e = evals[k];
+          plan.resolve_slots(e.theta, e.input, e.shift_op, e.shift, angles);
+          sv.reset();
+          plan.apply(sv, angles);
+          const auto samples = sv.sample(shots_, rngs[k]);
+          results[k] = expectations_from_samples(samples, n, shots_);
+        }
+      },
+      threads);
+  return results;
+}
+
+std::vector<double> StatevectorBackend::execute_expect_batch(
+    const exec::CompiledCircuit& plan,
+    const exec::CompiledObservable& observable,
+    std::span<const exec::Evaluation> evals, unsigned threads) {
+  const int n = plan.num_qubits();
+  const std::size_t n_groups = observable.groups().size();
+  std::vector<double> results(evals.size());
+
+  if (shots_ == 0) {
+    // Exact mode: one state per evaluation, every term analytic. The
+    // per-term loop inside CompiledObservable::expectation is
+    // bit-identical to vqe::Hamiltonian::expectation.
+    add_inferences(evals.size());
+    parallel_for_chunked(
+        0, evals.size(),
+        [&](std::size_t lo, std::size_t hi) {
+          std::vector<double> angles;
+          sim::Statevector sv(n);
+          for (std::size_t k = lo; k < hi; ++k) {
+            const auto& e = evals[k];
+            plan.resolve_slots(e.theta, e.input, e.shift_op, e.shift, angles);
+            sv.reset();
+            plan.apply(sv, angles);
+            results[k] = observable.expectation(sv);
+          }
+        },
+        threads);
+    return results;
+  }
+
+  // Sampled mode: one ansatz preparation per evaluation, one measured
+  // execution per commuting group (basis-change suffix + Z sampling).
+  // Per-evaluation RNG streams are assigned in submission order and
+  // consumed sequentially within the evaluation, so results are
+  // deterministic and thread-count invariant.
+  add_inferences(evals.size() * n_groups);
+  std::vector<Prng> rngs;
+  rngs.reserve(evals.size());
+  {
+    const std::lock_guard<std::mutex> lock(rng_mutex_);
+    for (std::size_t k = 0; k < evals.size(); ++k)
+      rngs.push_back(rng_.split());
+  }
+  parallel_for_chunked(
+      0, evals.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> angles;
+        sim::Statevector sv(n);
+        sim::Statevector meas(n);  // per-group scratch, buffer reused
+        for (std::size_t k = lo; k < hi; ++k) {
+          const auto& e = evals[k];
+          plan.resolve_slots(e.theta, e.input, e.shift_op, e.shift, angles);
+          sv.reset();
+          plan.apply(sv, angles);
+          double energy = observable.constant();
+          for (std::size_t g = 0; g < n_groups; ++g) {
+            // All-Z groups have no suffix: sample the prepared state
+            // directly instead of paying an O(2^n) copy.
+            const sim::Statevector* src = &sv;
+            if (!observable.groups()[g].suffix.empty()) {
+              meas = sv;
+              observable.apply_suffix(meas, g);
+              src = &meas;
+            }
+            const auto samples = src->sample(shots_, rngs[k]);
+            energy += observable.group_energy_from_samples(samples, g, shots_);
+          }
+          results[k] = energy;
+        }
       },
       threads);
   return results;
@@ -190,8 +300,8 @@ DensityMatrixBackend::DensityMatrixBackend(noise::DeviceModel device,
     throw std::invalid_argument("DensityMatrixBackend: negative noise_scale");
 }
 
-std::vector<double> DensityMatrixBackend::run_transpiled(
-    const transpile::Transpiled& t, int n_logical) const {
+sim::DensityMatrix DensityMatrixBackend::evolve_transpiled(
+    const transpile::Transpiled& t) const {
   const int n_phys = device_.n_qubits;
   const double scale = options_.noise_scale;
 
@@ -230,7 +340,13 @@ std::vector<double> DensityMatrixBackend::run_transpiled(
                             {q});
     }
   }
+  return rho;
+}
 
+std::vector<double> DensityMatrixBackend::run_transpiled(
+    const transpile::Transpiled& t, int n_logical) const {
+  const double scale = options_.noise_scale;
+  const sim::DensityMatrix rho = evolve_transpiled(t);
   const auto z_phys = rho.expectation_z_all();
   std::vector<double> out(static_cast<std::size_t>(n_logical));
   for (int l = 0; l < n_logical; ++l) {
@@ -259,15 +375,99 @@ std::vector<std::vector<double>> DensityMatrixBackend::execute_batch(
     unsigned threads) {
   const auto tmpl = transpile_cache_.get(plan, device_);
   std::vector<std::vector<double>> results(evals.size());
-  parallel_for(
+  parallel_for_chunked(
       0, evals.size(),
-      [&](std::size_t k) {
-        const auto& e = evals[k];
+      [&](std::size_t lo, std::size_t hi) {
         std::vector<double> angles;
-        plan.resolve_source_angles(e.theta, e.input, e.shift_op, e.shift,
-                                   angles);
-        const auto t = transpile::transpile_with_angles(*tmpl, angles, device_);
-        results[k] = run_transpiled(t, plan.num_qubits());
+        for (std::size_t k = lo; k < hi; ++k) {
+          const auto& e = evals[k];
+          plan.resolve_source_angles(e.theta, e.input, e.shift_op, e.shift,
+                                     angles);
+          const auto t =
+              transpile::transpile_with_angles(*tmpl, angles, device_);
+          results[k] = run_transpiled(t, plan.num_qubits());
+        }
+      },
+      threads);
+  return results;
+}
+
+std::vector<double> DensityMatrixBackend::execute_expect_batch(
+    const exec::CompiledCircuit& plan,
+    const exec::CompiledObservable& observable,
+    std::span<const exec::Evaluation> evals, unsigned threads) {
+  const auto tmpl = transpile_cache_.get(plan, device_);
+  const int n_logical = plan.num_qubits();
+  const int n_phys = device_.n_qubits;
+  const double scale = options_.noise_scale;
+  std::vector<double> results(evals.size());
+  // One exact noisy evolution per evaluation; every group's terms are
+  // then read from the final density matrix (deterministic oracle, so a
+  // single execution is counted per evaluation).
+  add_inferences(evals.size());
+  parallel_for_chunked(
+      0, evals.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> angles;
+        sim::DensityMatrix meas(n_phys);  // per-group scratch, buffer reused
+        for (std::size_t k = lo; k < hi; ++k) {
+          const auto& e = evals[k];
+          plan.resolve_source_angles(e.theta, e.input, e.shift_op, e.shift,
+                                     angles);
+          const auto t =
+              transpile::transpile_with_angles(*tmpl, angles, device_);
+          const sim::DensityMatrix rho = evolve_transpiled(t);
+
+          double energy = observable.constant();
+          for (std::size_t g = 0; g < observable.groups().size(); ++g) {
+            const auto& group = observable.groups()[g];
+            // Ideal basis-change suffix on the measured physical qubits;
+            // all-Z groups have none, so read rho directly instead of
+            // paying an O(4^n) copy.
+            const sim::DensityMatrix* src = &rho;
+            if (!group.suffix.empty()) {
+              meas = rho;
+              for (const auto& bc : group.suffix) {
+                const int phys =
+                    t.final_layout[static_cast<std::size_t>(bc.qubit)];
+                if (bc.y) meas.apply_unitary(sim::gate_sdg(), {phys});
+                meas.apply_unitary(sim::gate_h(), {phys});
+              }
+              src = &meas;
+            }
+            const auto probs = src->probabilities();
+            for (const auto& term : group.terms) {
+              // E[prod (-1)^{b'_q}] with independent classical readout
+              // flips: condition on each basis state and multiply the
+              // per-qubit flip-adjusted parities.
+              double acc = 0.0;
+              for (std::size_t s = 0; s < probs.size(); ++s) {
+                double f = probs[s];
+                for (int q = 0; q < n_logical; ++q) {
+                  if (!(term.z_mask &
+                        exec::CompiledObservable::qubit_bit(q, n_logical)))
+                    continue;
+                  const int phys =
+                      t.final_layout[static_cast<std::size_t>(q)];
+                  const int bit = static_cast<int>(
+                      (s >> (n_phys - 1 - phys)) & 1ULL);
+                  double z = bit ? -1.0 : 1.0;
+                  if (options_.enable_readout_error) {
+                    const auto& cal =
+                        device_.qubits[static_cast<std::size_t>(phys)];
+                    const double e01 = cal.readout_err_0to1 * scale;
+                    const double e10 = cal.readout_err_1to0 * scale;
+                    z = (1.0 - e01 - e10) * z + (e10 - e01);
+                  }
+                  f *= z;
+                }
+                acc += f;
+              }
+              energy += term.coeff * acc;
+            }
+          }
+          results[k] = energy;
+        }
       },
       threads);
   return results;
@@ -394,54 +594,55 @@ struct TrajectoryProgram {
 
 }  // namespace
 
-std::vector<double> NoisyBackend::run_transpiled(
-    const transpile::Transpiled& t, int n_logical,
-    std::uint64_t serial) const {
-  const int n_phys = device_.n_qubits;
-  const double scale = options_.noise_scale;
-  const double p1 = options_.enable_gate_noise ? device_.err_1q * scale : 0.0;
-  const double p2 = options_.enable_gate_noise ? device_.err_2q * scale : 0.0;
-
-  // Pre-build per-qubit relaxation channels for the two gate durations.
+/// Batch-invariant noise model tables: everything the trajectory loop
+/// consumes that depends only on (device, options). Built once per
+/// batched call -- per-evaluation construction was pure redundant work
+/// (identical channels every time).
+struct NoisyBackend::NoiseTables {
+  double p1 = 0.0, p2 = 0.0;
+  bool relaxation = false;
   std::vector<noise::KrausChannel> relax_1q, relax_2q;
-  if (options_.enable_relaxation) {
-    relax_1q.reserve(static_cast<std::size_t>(n_phys));
-    relax_2q.reserve(static_cast<std::size_t>(n_phys));
-    for (const auto& cal : device_.qubits) {
-      relax_1q.push_back(noise::thermal_relaxation(
-          cal.t1_s, cal.t2_s, device_.gate_time_1q_s * scale));
-      relax_2q.push_back(noise::thermal_relaxation(
-          cal.t1_s, cal.t2_s, device_.gate_time_2q_s * scale));
+  std::vector<noise::ReadoutError> readout;
+
+  NoiseTables(const noise::DeviceModel& device,
+              const NoisyBackendOptions& options) {
+    const double scale = options.noise_scale;
+    p1 = options.enable_gate_noise ? device.err_1q * scale : 0.0;
+    p2 = options.enable_gate_noise ? device.err_2q * scale : 0.0;
+    relaxation = options.enable_relaxation;
+    if (options.enable_relaxation) {
+      relax_1q.reserve(static_cast<std::size_t>(device.n_qubits));
+      relax_2q.reserve(static_cast<std::size_t>(device.n_qubits));
+      for (const auto& cal : device.qubits) {
+        relax_1q.push_back(noise::thermal_relaxation(
+            cal.t1_s, cal.t2_s, device.gate_time_1q_s * scale));
+        relax_2q.push_back(noise::thermal_relaxation(
+            cal.t1_s, cal.t2_s, device.gate_time_2q_s * scale));
+      }
+    }
+    if (options.enable_readout_error) {
+      readout.reserve(static_cast<std::size_t>(device.n_qubits));
+      for (const auto& cal : device.qubits)
+        readout.push_back(
+            {cal.readout_err_0to1 * scale, cal.readout_err_1to0 * scale});
     }
   }
 
-  const TrajectoryProgram program(t);
-
-  const int n_traj = options_.trajectories;
-  const int shots_per_traj = std::max(1, options_.shots / n_traj);
-
-  // Independent RNG stream per execution; trajectories split from it so
-  // concurrent executions do not interleave draws.
-  Prng exec_rng(options_.seed + 0x9E3779B97F4A7C15ULL * (serial + 1));
-
-  std::vector<double> acc(static_cast<std::size_t>(n_logical), 0.0);
-  std::uint64_t total_samples = 0;
-
-  for (int traj = 0; traj < n_traj; ++traj) {
-    Prng rng = exec_rng.split();
-    sim::Statevector sv(n_phys);
+  /// Evolve one noisy trajectory of `program` into sv.
+  void evolve(const TrajectoryProgram& program, sim::Statevector& sv,
+              Prng& rng) const {
     for (const auto& op : program.ops) {
       program.apply(sv, op);
       // Virtual RZ: frame change only, no physical pulse, no error.
       if (op.k == TrajectoryProgram::K::Rz) continue;
       if (op.q1 < 0) {
         inject_depolarizing(sv, op.q0, -1, p1, rng);
-        if (options_.enable_relaxation)
+        if (relaxation)
           relax_1q[static_cast<std::size_t>(op.q0)].sample_and_apply(
               sv, {op.q0}, rng);
       } else {
         inject_depolarizing(sv, op.q0, op.q1, p2, rng);
-        if (options_.enable_relaxation) {
+        if (relaxation) {
           relax_2q[static_cast<std::size_t>(op.q0)].sample_and_apply(
               sv, {op.q0}, rng);
           relax_2q[static_cast<std::size_t>(op.q1)].sample_and_apply(
@@ -449,6 +650,28 @@ std::vector<double> NoisyBackend::run_transpiled(
         }
       }
     }
+  }
+};
+
+std::vector<double> NoisyBackend::run_transpiled(
+    const transpile::Transpiled& t, const NoiseTables& tables, int n_logical,
+    std::uint64_t serial) const {
+  const int n_phys = device_.n_qubits;
+  const TrajectoryProgram program(t);
+
+  const int n_traj = options_.trajectories;
+  const int shots_per_traj = std::max(1, options_.shots / n_traj);
+
+  Prng exec_rng = execution_rng(serial);
+
+  std::vector<double> acc(static_cast<std::size_t>(n_logical), 0.0);
+  std::uint64_t total_samples = 0;
+
+  sim::Statevector sv(n_phys);
+  for (int traj = 0; traj < n_traj; ++traj) {
+    Prng rng = exec_rng.split();
+    sv.reset();
+    tables.evolve(program, sv, rng);
 
     // Readout: sample bitstrings from the final state and apply per-qubit
     // classical flip errors.
@@ -457,12 +680,8 @@ std::vector<double> NoisyBackend::run_transpiled(
       for (int l = 0; l < n_logical; ++l) {
         const int phys = t.final_layout[static_cast<std::size_t>(l)];
         int bit = static_cast<int>((s >> (n_phys - 1 - phys)) & 1ULL);
-        if (options_.enable_readout_error) {
-          const auto& cal = device_.qubits[static_cast<std::size_t>(phys)];
-          const noise::ReadoutError ro{cal.readout_err_0to1 * scale,
-                                       cal.readout_err_1to0 * scale};
-          bit = ro.apply(bit, rng);
-        }
+        if (options_.enable_readout_error)
+          bit = tables.readout[static_cast<std::size_t>(phys)].apply(bit, rng);
         acc[static_cast<std::size_t>(l)] += bit ? -1.0 : 1.0;
       }
       ++total_samples;
@@ -471,6 +690,78 @@ std::vector<double> NoisyBackend::run_transpiled(
 
   for (auto& v : acc) v /= static_cast<double>(total_samples);
   return acc;
+}
+
+double NoisyBackend::expect_transpiled(
+    const transpile::Transpiled& t, const NoiseTables& tables,
+    const exec::CompiledObservable& observable, std::uint64_t serial) const {
+  // One measured hardware execution: noisy trajectories of the routed
+  // circuit, an ideal basis-change suffix per commuting group, then shot
+  // sampling with classical readout flips on the measured qubits.
+  const int n_logical = observable.num_qubits();
+  const int n_phys = device_.n_qubits;
+  const TrajectoryProgram program(t);
+
+  const int n_traj = options_.trajectories;
+  const int shots_per_traj = std::max(1, options_.shots / n_traj);
+
+  Prng exec_rng = execution_rng(serial);
+
+  const auto& groups = observable.groups();
+  // parity_sum[g][i]: summed parities of group g's i-th term.
+  std::vector<std::vector<double>> parity_sum(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    parity_sum[g].assign(groups[g].terms.size(), 0.0);
+  std::uint64_t total_samples = 0;
+
+  sim::Statevector sv(n_phys);
+  sim::Statevector meas(n_phys);  // per-group scratch, buffer reused
+  for (int traj = 0; traj < n_traj; ++traj) {
+    Prng rng = exec_rng.split();
+    sv.reset();
+    tables.evolve(program, sv, rng);
+
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const auto& group = groups[g];
+      // All-Z groups have no suffix: sample the trajectory state
+      // directly instead of paying an O(2^n) copy.
+      const sim::Statevector* src = &sv;
+      if (!group.suffix.empty()) {
+        meas = sv;
+        observable.apply_suffix(meas, g, t.final_layout);
+        src = &meas;
+      }
+      const auto samples = src->sample(shots_per_traj, rng);
+      for (const auto s : samples) {
+        // Read every measured qubit once (flips shared by all terms of
+        // the group, exactly as one hardware shot would behave), packed
+        // into a logical-bit word the term masks index directly.
+        std::uint64_t word = 0;
+        for (int q = 0; q < n_logical; ++q) {
+          const std::uint64_t lbit =
+              exec::CompiledObservable::qubit_bit(q, n_logical);
+          if (!(group.measured_mask & lbit)) continue;
+          const int phys = t.final_layout[static_cast<std::size_t>(q)];
+          int bit = static_cast<int>((s >> (n_phys - 1 - phys)) & 1ULL);
+          if (options_.enable_readout_error)
+            bit = tables.readout[static_cast<std::size_t>(phys)].apply(bit,
+                                                                       rng);
+          if (bit) word |= lbit;
+        }
+        for (std::size_t i = 0; i < group.terms.size(); ++i)
+          parity_sum[g][i] +=
+              (std::popcount(word & group.terms[i].z_mask) & 1) ? -1.0 : 1.0;
+      }
+    }
+    total_samples += static_cast<std::uint64_t>(shots_per_traj);
+  }
+
+  double energy = observable.constant();
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    for (std::size_t i = 0; i < groups[g].terms.size(); ++i)
+      energy += groups[g].terms[i].coeff *
+                (parity_sum[g][i] / static_cast<double>(total_samples));
+  return energy;
 }
 
 std::vector<double> NoisyBackend::execute(const circuit::Circuit& c,
@@ -483,18 +774,53 @@ std::vector<std::vector<double>> NoisyBackend::execute_batch(
     const exec::CompiledCircuit& plan, std::span<const exec::Evaluation> evals,
     unsigned threads) {
   const auto tmpl = transpile_cache_.get(plan, device_);
+  const NoiseTables tables(device_, options_);
   const std::uint64_t base =
       run_serial_.fetch_add(evals.size(), std::memory_order_relaxed);
   std::vector<std::vector<double>> results(evals.size());
-  parallel_for(
+  parallel_for_chunked(
       0, evals.size(),
-      [&](std::size_t k) {
-        const auto& e = evals[k];
+      [&](std::size_t lo, std::size_t hi) {
         std::vector<double> angles;
-        plan.resolve_source_angles(e.theta, e.input, e.shift_op, e.shift,
-                                   angles);
-        const auto t = transpile::transpile_with_angles(*tmpl, angles, device_);
-        results[k] = run_transpiled(t, plan.num_qubits(), base + k);
+        for (std::size_t k = lo; k < hi; ++k) {
+          const auto& e = evals[k];
+          plan.resolve_source_angles(e.theta, e.input, e.shift_op, e.shift,
+                                     angles);
+          const auto t =
+              transpile::transpile_with_angles(*tmpl, angles, device_);
+          results[k] = run_transpiled(t, tables, plan.num_qubits(), base + k);
+        }
+      },
+      threads);
+  return results;
+}
+
+std::vector<double> NoisyBackend::execute_expect_batch(
+    const exec::CompiledCircuit& plan,
+    const exec::CompiledObservable& observable,
+    std::span<const exec::Evaluation> evals, unsigned threads) {
+  const auto tmpl = transpile_cache_.get(plan, device_);
+  const NoiseTables tables(device_, options_);
+  // One RNG serial per evaluation, allocated in submission order; each
+  // evaluation's groups then consume that stream sequentially inside
+  // expect_transpiled, so results are deterministic and thread-count
+  // invariant.
+  const std::uint64_t base =
+      run_serial_.fetch_add(evals.size(), std::memory_order_relaxed);
+  add_inferences(evals.size() * observable.groups().size());
+  std::vector<double> results(evals.size());
+  parallel_for_chunked(
+      0, evals.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> angles;
+        for (std::size_t k = lo; k < hi; ++k) {
+          const auto& e = evals[k];
+          plan.resolve_source_angles(e.theta, e.input, e.shift_op, e.shift,
+                                     angles);
+          const auto t =
+              transpile::transpile_with_angles(*tmpl, angles, device_);
+          results[k] = expect_transpiled(t, tables, observable, base + k);
+        }
       },
       threads);
   return results;

@@ -1,0 +1,122 @@
+#include "qoc/common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace qoc::common {
+
+namespace {
+thread_local bool tl_on_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned workers) {
+  const unsigned n = workers == 0 ? hardware_threads() : workers;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::on_worker_thread() { return tl_on_worker; }
+
+void ThreadPool::worker_loop() {
+  tl_on_worker = true;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tickets_.empty(); });
+      if (tickets_.empty()) return;  // stop_ set and queue drained
+      job = std::move(tickets_.front());
+      tickets_.pop_front();
+    }
+    help(*job);
+  }
+}
+
+void ThreadPool::help(Job& job) {
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.n_chunks) return;
+    const std::size_t lo = job.begin + c * job.chunk;
+    const std::size_t hi = std::min(job.end, lo + job.chunk);
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      try {
+        job.fn(job.ctx, lo, hi);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(job.error_mutex);
+          if (!job.error) job.error = std::current_exception();
+        }
+        job.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    // acq_rel + the acquire load in the caller's wait predicate order all
+    // chunk side effects (results, stored exception) before the caller
+    // resumes. Taking done_mutex before notifying closes the window
+    // between the caller's predicate check and its wait.
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.n_chunks) {
+      const std::lock_guard<std::mutex> lock(job.done_mutex);
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_impl(std::size_t begin, std::size_t end, ChunkFnPtr fn,
+                          void* ctx, unsigned target, std::size_t min_chunk) {
+  const std::size_t n = end - begin;
+  // ~4 chunks per participating thread: coarse enough to amortise the
+  // claim, fine enough to load-balance uneven per-index cost.
+  const std::size_t chunk = std::max<std::size_t>(
+      std::max<std::size_t>(min_chunk, 1),
+      (n + static_cast<std::size_t>(target) * 4 - 1) /
+          (static_cast<std::size_t>(target) * 4));
+
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->ctx = ctx;
+  job->begin = begin;
+  job->end = end;
+  job->chunk = chunk;
+  job->n_chunks = (n + chunk - 1) / chunk;
+
+  // The caller is one participant; enqueue help tickets for the rest.
+  const std::size_t helpers = std::min<std::size_t>(
+      {static_cast<std::size_t>(target) - 1, static_cast<std::size_t>(size()),
+       job->n_chunks});
+  if (helpers > 0) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      for (std::size_t i = 0; i < helpers; ++i) tickets_.push_back(job);
+    }
+    if (helpers == 1)
+      cv_.notify_one();
+    else
+      cv_.notify_all();
+  }
+
+  help(*job);
+
+  {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock, [&job] {
+      return job->done.load(std::memory_order_acquire) == job->n_chunks;
+    });
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace qoc::common

@@ -80,6 +80,13 @@ double Hamiltonian::exact_ground_energy() const {
   return linalg::hermitian_min_eigenvalue(to_matrix());
 }
 
+exec::CompiledObservable compile_observable(const Hamiltonian& hamiltonian) {
+  std::vector<exec::ObservableTerm> terms;
+  terms.reserve(hamiltonian.terms().size());
+  for (const auto& t : hamiltonian.terms()) terms.push_back({t.paulis, t.coeff});
+  return exec::CompiledObservable::compile(hamiltonian.num_qubits(), terms);
+}
+
 Hamiltonian Hamiltonian::h2_minimal() {
   // O'Malley et al., PRX 6, 031007 (2016), R = 0.75 Angstrom (tapered to
   // 2 qubits; energies in Hartree).

@@ -5,8 +5,7 @@
 #include <stdexcept>
 
 #include "qoc/circuit/layers.hpp"
-#include "qoc/sim/gates.hpp"
-#include "qoc/train/param_shift.hpp"
+#include "qoc/common/parallel.hpp"
 
 namespace qoc::vqe {
 
@@ -17,96 +16,140 @@ constexpr double kHalfPi = 1.5707963267948966;
 EnergyEstimator::EnergyEstimator(Hamiltonian hamiltonian,
                                  EstimatorOptions options)
     : hamiltonian_(std::move(hamiltonian)), options_(options),
-      rng_(options.seed) {
+      rng_(options.seed), observable_(compile_observable(hamiltonian_)) {
   if (options_.shots < 0)
     throw std::invalid_argument("EnergyEstimator: shots < 0");
   if (options_.gate_noise < 0.0 || options_.gate_noise > 1.0)
     throw std::invalid_argument("EnergyEstimator: gate_noise out of [0,1]");
 }
 
-sim::Statevector EnergyEstimator::prepare(const circuit::Circuit& ansatz,
-                                          std::span<const double> theta,
-                                          Prng& rng) {
-  sim::Statevector sv(ansatz.num_qubits());
-  for (const auto& op : ansatz.ops()) {
-    const double angle = circuit::resolve_angle(op.param, theta, {});
-    sv.apply_matrix(circuit::gate_matrix(op.kind, angle), op.qubits);
-    if (options_.gate_noise > 0.0) {
-      // One depolarizing event per touched qubit per gate.
-      for (const int q : op.qubits) {
-        const double u = rng.uniform();
-        if (u < 0.75 * options_.gate_noise) {
-          const int which = static_cast<int>(u / (0.25 * options_.gate_noise));
-          if (which == 0) sv.apply_pauli_x(q);
-          else if (which == 1) sv.apply_pauli_y(q);
-          else sv.apply_pauli_z(q);
-        }
+void EnergyEstimator::ensure_compiled(const circuit::Circuit& ansatz) {
+  if (ansatz.num_qubits() != hamiltonian_.num_qubits())
+    throw std::invalid_argument("EnergyEstimator: qubit count mismatch");
+  if (plan_ && plan_->structure_hash() == exec::structure_hash(ansatz) &&
+      exec::structure_equal(ansatz, plan_->source()))
+    return;
+  plan_ = exec::CompiledCircuit::compile(ansatz);
+}
+
+/// Chunk-level scratch: one set of buffers per worker chunk instead of
+/// per evaluation (matches the backends' execute_batch pattern).
+struct EnergyEstimator::Scratch {
+  explicit Scratch(int n_qubits) : psi(n_qubits), meas(n_qubits) {}
+  std::vector<double> angles;
+  sim::Statevector psi;   // prepared ansatz state
+  sim::Statevector meas;  // per-group measurement copy
+};
+
+void EnergyEstimator::prepare_noisy(std::span<const double> angles, Prng& rng,
+                                    sim::Statevector& sv) const {
+  const circuit::Circuit& src = plan_->source();
+  sv.reset();
+  for (std::size_t i = 0; i < src.num_ops(); ++i) {
+    const auto& op = src.op(i);
+    sv.apply_matrix(circuit::gate_matrix(op.kind, angles[i]), op.qubits);
+    // One depolarizing event per touched qubit per gate.
+    for (const int q : op.qubits) {
+      const double u = rng.uniform();
+      if (u < 0.75 * options_.gate_noise) {
+        const int which = static_cast<int>(u / (0.25 * options_.gate_noise));
+        if (which == 0) sv.apply_pauli_x(q);
+        else if (which == 1) sv.apply_pauli_y(q);
+        else sv.apply_pauli_z(q);
       }
     }
   }
-  return sv;
+}
+
+double EnergyEstimator::energy_one(const exec::Evaluation& e, Prng& rng,
+                                   Scratch& scratch) const {
+  const bool noisy = options_.gate_noise > 0.0;
+
+  if (!noisy && options_.shots == 0) {
+    // Exact path: one compiled state preparation, all terms analytic.
+    // CompiledObservable::expectation replays Hamiltonian::expectation's
+    // per-term loop bit-for-bit.
+    plan_->resolve_slots(e.theta, e.input, e.shift_op, e.shift,
+                         scratch.angles);
+    scratch.psi.reset();
+    plan_->apply(scratch.psi, scratch.angles);
+    return observable_.expectation(scratch.psi);
+  }
+
+  // Measured path: one execution per commuting group (distinct
+  // measurement basis). Noise-free states are prepared once and copied
+  // per group; with gate noise every group execution prepares a fresh
+  // stochastic state, exactly as a hardware pipeline would.
+  double total = observable_.constant();
+  if (noisy) {
+    plan_->resolve_source_angles(e.theta, e.input, e.shift_op, e.shift,
+                                 scratch.angles);
+  } else {
+    plan_->resolve_slots(e.theta, e.input, e.shift_op, e.shift,
+                         scratch.angles);
+    scratch.psi.reset();
+    plan_->apply(scratch.psi, scratch.angles);
+  }
+
+  for (std::size_t g = 0; g < observable_.groups().size(); ++g) {
+    // All-Z groups have no suffix, so the shared noise-free state can be
+    // measured directly instead of paying an O(2^n) copy.
+    const sim::Statevector* meas = &scratch.psi;
+    if (noisy) {
+      prepare_noisy(scratch.angles, rng, scratch.meas);
+      observable_.apply_suffix(scratch.meas, g);
+      meas = &scratch.meas;
+    } else if (!observable_.groups()[g].suffix.empty()) {
+      scratch.meas = scratch.psi;
+      observable_.apply_suffix(scratch.meas, g);
+      meas = &scratch.meas;
+    }
+    if (options_.shots == 0) {
+      // Noise without shot sampling: exact Z-product expectations.
+      total += observable_.group_energy_exact(*meas, g);
+    } else {
+      const auto samples = meas->sample(options_.shots, rng);
+      total +=
+          observable_.group_energy_from_samples(samples, g, options_.shots);
+    }
+  }
+  return total;
 }
 
 double EnergyEstimator::energy(const circuit::Circuit& ansatz,
                                std::span<const double> theta) {
-  if (ansatz.num_qubits() != hamiltonian_.num_qubits())
-    throw std::invalid_argument("EnergyEstimator: qubit count mismatch");
+  const exec::Evaluation eval{theta, {}, exec::Evaluation::kNoShift, 0.0};
+  return energies(ansatz, std::span<const exec::Evaluation>(&eval, 1), 1)[0];
+}
 
-  if (options_.shots == 0 && options_.gate_noise == 0.0) {
-    // Exact path: one state preparation, all terms analytically.
-    Prng rng = rng_.split();
-    const sim::Statevector psi = prepare(ansatz, theta, rng);
-    ++executions_;
-    return hamiltonian_.expectation(psi);
-  }
+std::vector<double> EnergyEstimator::energies(
+    const circuit::Circuit& ansatz, std::span<const exec::Evaluation> evals,
+    unsigned threads) {
+  ensure_compiled(ansatz);
 
-  // Sampled path: one execution per term (distinct measurement basis).
-  double total = 0.0;
-  for (const auto& term : hamiltonian_.terms()) {
-    bool is_identity = true;
-    for (const char c : term.paulis)
-      if (c != 'I') is_identity = false;
-    if (is_identity) {
-      total += term.coeff;
-      continue;
-    }
-    Prng rng = rng_.split();
-    sim::Statevector psi = prepare(ansatz, theta, rng);
-    ++executions_;
+  // Per-evaluation PRNG streams, assigned in submission order exactly as
+  // a sequential loop of energy() calls would draw them; each evaluation
+  // then consumes its stream sequentially, so results are deterministic
+  // and thread-count invariant.
+  std::vector<Prng> rngs;
+  rngs.reserve(evals.size());
+  for (std::size_t k = 0; k < evals.size(); ++k) rngs.push_back(rng_.split());
 
-    // Basis change: X -> H, Y -> Sdg then H, so measuring Z gives the term.
-    for (int q = 0; q < hamiltonian_.num_qubits(); ++q) {
-      const char c = term.paulis[static_cast<std::size_t>(q)];
-      if (c == 'X') {
-        psi.apply_1q(sim::gate_h(), q);
-      } else if (c == 'Y') {
-        psi.apply_1q(sim::gate_sdg(), q);
-        psi.apply_1q(sim::gate_h(), q);
-      }
-    }
-    if (options_.shots == 0) {
-      // Noise without shot sampling: exact Z-product expectation.
-      PauliTerm zterm = term;
-      for (auto& c : zterm.paulis)
-        if (c != 'I') c = 'Z';
-      total += term.coeff * hamiltonian_.term_expectation(psi, zterm);
-      continue;
-    }
+  std::vector<double> results(evals.size());
+  parallel_for_chunked(
+      0, evals.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        Scratch scratch(plan_->num_qubits());
+        for (std::size_t k = lo; k < hi; ++k)
+          results[k] = energy_one(evals[k], rngs[k], scratch);
+      },
+      threads);
 
-    const int n = hamiltonian_.num_qubits();
-    const auto samples = psi.sample(options_.shots, rng);
-    double parity_sum = 0.0;
-    for (const auto s : samples) {
-      int parity = 0;
-      for (int q = 0; q < n; ++q) {
-        if (term.paulis[static_cast<std::size_t>(q)] == 'I') continue;
-        parity ^= static_cast<int>((s >> (n - 1 - q)) & 1ULL);
-      }
-      parity_sum += parity ? -1.0 : 1.0;
-    }
-    total += term.coeff * parity_sum / options_.shots;
-  }
-  return total;
+  const bool exact = options_.shots == 0 && options_.gate_noise == 0.0;
+  const std::uint64_t per_eval =
+      exact ? 1 : static_cast<std::uint64_t>(observable_.groups().size());
+  executions_ += per_eval * evals.size();
+  return results;
 }
 
 VqeSolver::VqeSolver(EnergyEstimator estimator, circuit::Circuit ansatz,
@@ -127,17 +170,30 @@ VqeSolver::VqeSolver(EnergyEstimator estimator, circuit::Circuit ansatz,
 std::vector<double> VqeSolver::gradient(std::span<const double> theta,
                                         const std::vector<bool>& mask) {
   const int n = ansatz_.num_trainable();
-  std::vector<double> grad(static_cast<std::size_t>(n), 0.0);
+
+  // The whole sweep -- every +-pi/2 pair of every active parameter
+  // occurrence -- submitted as ONE batch against the estimator's
+  // compiled ansatz: shifts are slot offsets (bit-identical to the old
+  // with_op_offset circuit copies), nothing is re-lowered, and the
+  // evaluations fan over the shared thread pool.
+  std::vector<std::pair<int, std::size_t>> shifts;
   for (int i = 0; i < n; ++i) {
     if (!mask[static_cast<std::size_t>(i)]) continue;
-    for (const std::size_t op_idx : ansatz_.ops_for_param(i)) {
-      const auto plus = train::with_op_offset(ansatz_, op_idx, kHalfPi);
-      const auto minus = train::with_op_offset(ansatz_, op_idx, -kHalfPi);
-      grad[static_cast<std::size_t>(i)] +=
-          0.5 * (estimator_.energy(plus, theta) -
-                 estimator_.energy(minus, theta));
-    }
+    for (const std::size_t op_idx : ansatz_.ops_for_param(i))
+      shifts.emplace_back(i, op_idx);
   }
+  std::vector<exec::Evaluation> evals;
+  evals.reserve(2 * shifts.size());
+  for (const auto& [i, op_idx] : shifts) {
+    evals.push_back({theta, {}, op_idx, kHalfPi});
+    evals.push_back({theta, {}, op_idx, -kHalfPi});
+  }
+  const auto e = estimator_.energies(ansatz_, evals, config_.threads);
+
+  std::vector<double> grad(static_cast<std::size_t>(n), 0.0);
+  for (std::size_t s = 0; s < shifts.size(); ++s)
+    grad[static_cast<std::size_t>(shifts[s].first)] +=
+        0.5 * (e[2 * s] - e[2 * s + 1]);
   return grad;
 }
 

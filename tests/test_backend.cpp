@@ -10,6 +10,7 @@
 #include "qoc/circuit/circuit.hpp"
 #include "qoc/circuit/layers.hpp"
 #include "qoc/common/prng.hpp"
+#include "qoc/vqe/vqe.hpp"
 
 namespace {
 
@@ -211,6 +212,141 @@ TEST(NoisyBackend, DurationEstimatePositive) {
   qoc::circuit::add_rzz_ring_layer(c);
   std::vector<double> theta(4, 0.4);
   EXPECT_GT(backend.estimate_duration_s(c, theta, {}), 0.0);
+}
+
+// ---- expect_batch ----------------------------------------------------------
+
+TEST(ExpectBatch, ExactStatevectorBitIdenticalToPerTermLoop) {
+  const auto h = qoc::vqe::Hamiltonian::heisenberg(3, 0.7);
+  const auto obs = qoc::vqe::compile_observable(h);
+  const auto ansatz = qoc::vqe::VqeSolver::hardware_efficient_ansatz(3, 2);
+  const auto plan = qoc::exec::CompiledCircuit::compile(ansatz);
+
+  Prng rng(21);
+  StatevectorBackend qc(0);
+  std::vector<std::vector<double>> thetas(7);
+  std::vector<qoc::exec::Evaluation> evals;
+  for (auto& theta : thetas) {
+    theta.resize(static_cast<std::size_t>(ansatz.num_trainable()));
+    for (auto& t : theta) t = rng.uniform(-2.0, 2.0);
+    evals.push_back({theta, {}, qoc::exec::Evaluation::kNoShift, 0.0});
+  }
+  const auto energies = qc.expect_batch(plan, obs, evals, 0);
+
+  // Reference: prepare the state through the plan and run the classic
+  // per-term loop. Results must match BITWISE (EXPECT_EQ on doubles).
+  for (std::size_t k = 0; k < evals.size(); ++k) {
+    std::vector<double> angles;
+    plan.resolve_slots(thetas[k], {}, qoc::exec::Evaluation::kNoShift, 0.0,
+                       angles);
+    qoc::sim::Statevector psi(plan.num_qubits());
+    plan.apply(psi, angles);
+    EXPECT_EQ(energies[k], h.expectation(psi));
+  }
+  EXPECT_EQ(qc.inference_count(), evals.size());
+}
+
+TEST(ExpectBatch, SampledStatevectorConvergesToExact) {
+  const auto h = qoc::vqe::Hamiltonian::h2_minimal();
+  const auto obs = qoc::vqe::compile_observable(h);
+  const auto ansatz = qoc::vqe::VqeSolver::hardware_efficient_ansatz(2, 2);
+  const auto plan = qoc::exec::CompiledCircuit::compile(ansatz);
+  Prng rng(22);
+  std::vector<double> theta(static_cast<std::size_t>(ansatz.num_trainable()));
+  for (auto& t : theta) t = rng.uniform(-1.0, 1.0);
+  const qoc::exec::Evaluation eval{theta, {},
+                                   qoc::exec::Evaluation::kNoShift, 0.0};
+
+  StatevectorBackend exact(0);
+  const double e_exact =
+      exact.expect_batch(plan, obs, std::span(&eval, 1), 1)[0];
+
+  StatevectorBackend sampled(40000, 99);
+  const double e_sampled =
+      sampled.expect_batch(plan, obs, std::span(&eval, 1), 1)[0];
+  EXPECT_NEAR(e_sampled, e_exact, 0.03);
+  // One measured execution per commuting group.
+  EXPECT_EQ(sampled.inference_count(), obs.groups().size());
+}
+
+TEST(ExpectBatch, DensityMatrixNoiseFreeMatchesExact) {
+  const auto h = qoc::vqe::Hamiltonian::h2_minimal();
+  const auto obs = qoc::vqe::compile_observable(h);
+  const auto ansatz = qoc::vqe::VqeSolver::hardware_efficient_ansatz(2, 1);
+  const auto plan = qoc::exec::CompiledCircuit::compile(ansatz);
+  Prng rng(23);
+  std::vector<double> theta(static_cast<std::size_t>(ansatz.num_trainable()));
+  for (auto& t : theta) t = rng.uniform(-1.0, 1.0);
+  const qoc::exec::Evaluation eval{theta, {},
+                                   qoc::exec::Evaluation::kNoShift, 0.0};
+
+  StatevectorBackend sv(0);
+  const double e_exact = sv.expect_batch(plan, obs, std::span(&eval, 1), 1)[0];
+
+  DensityMatrixBackend::Options opt;
+  opt.enable_gate_noise = false;
+  opt.enable_relaxation = false;
+  opt.enable_readout_error = false;
+  DensityMatrixBackend dm(DeviceModel::ibmq_manila(), opt);
+  const double e_dm = dm.expect_batch(plan, obs, std::span(&eval, 1), 1)[0];
+  EXPECT_NEAR(e_dm, e_exact, 1e-9);
+}
+
+TEST(ExpectBatch, NoisyTrajectoriesMatchDensityMatrixOracle) {
+  // With noise enabled, trajectory estimates must converge to the exact
+  // density-matrix result for the same device.
+  const auto h = qoc::vqe::Hamiltonian::h2_minimal();
+  const auto obs = qoc::vqe::compile_observable(h);
+  const auto ansatz = qoc::vqe::VqeSolver::hardware_efficient_ansatz(2, 1);
+  const auto plan = qoc::exec::CompiledCircuit::compile(ansatz);
+  Prng rng(24);
+  std::vector<double> theta(static_cast<std::size_t>(ansatz.num_trainable()));
+  for (auto& t : theta) t = rng.uniform(-1.0, 1.0);
+  const qoc::exec::Evaluation eval{theta, {},
+                                   qoc::exec::Evaluation::kNoShift, 0.0};
+
+  DensityMatrixBackend dm(DeviceModel::ibmq_manila());
+  const double e_dm = dm.expect_batch(plan, obs, std::span(&eval, 1), 1)[0];
+
+  NoisyBackendOptions opt;
+  opt.trajectories = 256;
+  opt.shots = 16384;
+  NoisyBackend noisy(DeviceModel::ibmq_manila(), opt);
+  const double e_traj =
+      noisy.expect_batch(plan, obs, std::span(&eval, 1), 1)[0];
+  EXPECT_NEAR(e_traj, e_dm, 0.08);
+}
+
+TEST(ExpectBatch, QubitMismatchThrows) {
+  const auto h = qoc::vqe::Hamiltonian::h2_minimal();
+  const auto obs = qoc::vqe::compile_observable(h);
+  const auto ansatz = qoc::vqe::VqeSolver::hardware_efficient_ansatz(3, 1);
+  const auto plan = qoc::exec::CompiledCircuit::compile(ansatz);
+  StatevectorBackend qc(0);
+  EXPECT_THROW(qc.expect_batch(plan, obs, {}, 1), std::invalid_argument);
+}
+
+TEST(ExpectBatch, BackendsWithoutNativeStateAccessReject) {
+  // The default execute_expect_batch cannot reconstruct joint Pauli
+  // products from per-qubit <Z>, so it must refuse loudly.
+  class MinimalBackend final : public Backend {
+   public:
+    std::string name() const override { return "minimal"; }
+
+   protected:
+    std::vector<double> execute(const qoc::circuit::Circuit& c,
+                                std::span<const double>,
+                                std::span<const double>) override {
+      return std::vector<double>(static_cast<std::size_t>(c.num_qubits()),
+                                 0.0);
+    }
+  };
+  const auto h = qoc::vqe::Hamiltonian::h2_minimal();
+  const auto obs = qoc::vqe::compile_observable(h);
+  const auto ansatz = qoc::vqe::VqeSolver::hardware_efficient_ansatz(2, 1);
+  const auto plan = qoc::exec::CompiledCircuit::compile(ansatz);
+  MinimalBackend qc;
+  EXPECT_THROW(qc.expect_batch(plan, obs, {}, 1), std::logic_error);
 }
 
 }  // namespace

@@ -68,6 +68,71 @@ TEST(Hamiltonian, HeisenbergTwoSitesGroundIsSinglet) {
   EXPECT_NEAR(h.exact_ground_energy(), -3.0, 1e-9);
 }
 
+TEST(CompiledObservable, GroupsQubitWiseCommutingTerms) {
+  // h2_minimal: II folds into the constant; ZI, IZ, ZZ share the
+  // computational basis; XX and YY each need their own.
+  const auto obs = compile_observable(Hamiltonian::h2_minimal());
+  EXPECT_NEAR(obs.constant(), -0.4804, 1e-12);
+  ASSERT_EQ(obs.groups().size(), 3u);
+  EXPECT_EQ(obs.groups()[0].terms.size(), 3u);  // ZI, IZ, ZZ
+  EXPECT_EQ(obs.groups()[0].basis, "ZZ");
+  EXPECT_TRUE(obs.groups()[0].suffix.empty());  // already in Z basis
+  EXPECT_EQ(obs.groups()[1].basis, "XX");
+  EXPECT_EQ(obs.groups()[1].suffix.size(), 2u);
+  EXPECT_EQ(obs.groups()[2].basis, "YY");
+  // Every non-identity term lands in exactly one group.
+  std::size_t grouped = 0;
+  for (const auto& g : obs.groups()) grouped += g.terms.size();
+  EXPECT_EQ(grouped, 5u);
+}
+
+TEST(CompiledObservable, ExpectationBitIdenticalToHamiltonian) {
+  const Hamiltonian h = Hamiltonian::heisenberg(3, 1.3);
+  const auto obs = compile_observable(h);
+  Prng rng(31);
+  sim::Statevector psi(3);
+  for (int q = 0; q < 3; ++q)
+    psi.apply_1q(sim::gate_ry(rng.uniform(0.0, 3.0)), q);
+  psi.apply_2q(sim::gate_cx(), 0, 1);
+  psi.apply_2q(sim::gate_cx(), 1, 2);
+  // Bitwise equality, not NEAR: the compiled per-term loop replays the
+  // same arithmetic in the same order.
+  EXPECT_EQ(obs.expectation(psi), h.expectation(psi));
+}
+
+TEST(CompiledObservable, RejectsMalformedTerms) {
+  EXPECT_THROW(exec::CompiledObservable::compile(
+                   2, std::vector<exec::ObservableTerm>{{"Z", 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(exec::CompiledObservable::compile(
+                   2, std::vector<exec::ObservableTerm>{{"ZQ", 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(EnergyEstimator, BatchedEnergiesMatchSequentialCalls) {
+  const Hamiltonian h = Hamiltonian::h2_minimal();
+  Circuit ansatz = VqeSolver::hardware_efficient_ansatz(2, 2);
+  Prng rng(32);
+  std::vector<std::vector<double>> thetas(5);
+  std::vector<exec::Evaluation> evals;
+  for (auto& theta : thetas) {
+    theta.resize(static_cast<std::size_t>(ansatz.num_trainable()));
+    for (auto& t : theta) t = rng.uniform(-1.0, 1.0);
+    evals.push_back({theta, {}, exec::Evaluation::kNoShift, 0.0});
+  }
+
+  EstimatorOptions opt;
+  opt.shots = 64;
+  opt.seed = 41;
+  EnergyEstimator batched(h, opt);
+  const auto batch = batched.energies(ansatz, evals, 1);
+
+  EnergyEstimator seq(h, opt);
+  for (std::size_t k = 0; k < thetas.size(); ++k)
+    EXPECT_EQ(batch[k], seq.energy(ansatz, thetas[k]));
+  EXPECT_EQ(batched.executions(), seq.executions());
+}
+
 TEST(EnergyEstimator, ExactMatchesHamiltonianExpectation) {
   const Hamiltonian h = Hamiltonian::h2_minimal();
   EnergyEstimator est(h);
@@ -98,8 +163,10 @@ TEST(EnergyEstimator, SampledConvergesToExact) {
   opt.seed = 9;
   EnergyEstimator sampled(h, opt);
   EXPECT_NEAR(sampled.energy(ansatz, theta), e_exact, 0.02);
-  // One execution per non-identity term (5 of 6 terms).
-  EXPECT_EQ(sampled.executions(), 5u);
+  // One execution per measurement basis: ZI/IZ/ZZ share the computational
+  // basis, XX and YY need their own, so 3 commuting groups for 5
+  // non-identity terms.
+  EXPECT_EQ(sampled.executions(), 3u);
 }
 
 TEST(EnergyEstimator, RejectsBadOptions) {
