@@ -12,16 +12,21 @@
 #include "qoc/exec/compiled_circuit.hpp"
 #include "qoc/qml/qnn.hpp"
 #include "qoc/sim/gates.hpp"
+#include "qoc/sim/kernels.hpp"
 #include "qoc/sim/statevector.hpp"
 #include "qoc/train/param_shift.hpp"
+#include "qoc/transpile/lowered_cache.hpp"
 #include "qoc/transpile/transpile.hpp"
 
 namespace {
 
 using namespace qoc;
 
-void BM_Apply1q(benchmark::State& state) {
+/// Cycles a 1q gate over every qubit so all stride regimes (contiguous
+/// low-qubit pairs through dim/2-strided high qubits) are averaged in.
+void apply_1q_cycle(benchmark::State& state, sim::kernels::KernelMode mode) {
   const int n = static_cast<int>(state.range(0));
+  sim::kernels::set_kernel_mode(mode);
   sim::Statevector sv(n);
   const auto g = sim::gate_ry(0.7);
   int q = 0;
@@ -29,12 +34,28 @@ void BM_Apply1q(benchmark::State& state) {
     sv.apply_1q(g, q);
     q = (q + 1) % n;
   }
+  sim::kernels::set_kernel_mode(sim::kernels::KernelMode::Auto);
   state.SetItemsProcessed(state.iterations() << n);
+  state.SetLabel(mode == sim::kernels::KernelMode::Scalar
+                     ? "scalar"
+                     : sim::kernels::simd_backend());
+}
+
+void BM_Apply1q(benchmark::State& state) {
+  apply_1q_cycle(state, sim::kernels::KernelMode::Auto);
 }
 BENCHMARK(BM_Apply1q)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
 
-void BM_Apply2q(benchmark::State& state) {
+/// The pre-SIMD reference loops on the same cycle; the n >= 16 lines are
+/// the kernel-regression guard (Auto must stay well ahead of Scalar).
+void BM_Apply1qScalar(benchmark::State& state) {
+  apply_1q_cycle(state, sim::kernels::KernelMode::Scalar);
+}
+BENCHMARK(BM_Apply1qScalar)->Arg(16)->Arg(20);
+
+void apply_2q_cycle(benchmark::State& state, sim::kernels::KernelMode mode) {
   const int n = static_cast<int>(state.range(0));
+  sim::kernels::set_kernel_mode(mode);
   sim::Statevector sv(n);
   const auto g = sim::gate_rzz(0.7);
   int q = 0;
@@ -42,9 +63,67 @@ void BM_Apply2q(benchmark::State& state) {
     sv.apply_2q(g, q, (q + 1) % n);
     q = (q + 1) % n;
   }
+  sim::kernels::set_kernel_mode(sim::kernels::KernelMode::Auto);
   state.SetItemsProcessed(state.iterations() << n);
+  state.SetLabel(mode == sim::kernels::KernelMode::Scalar
+                     ? "scalar"
+                     : sim::kernels::simd_backend());
+}
+
+void BM_Apply2q(benchmark::State& state) {
+  apply_2q_cycle(state, sim::kernels::KernelMode::Auto);
 }
 BENCHMARK(BM_Apply2q)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_Apply2qScalar(benchmark::State& state) {
+  apply_2q_cycle(state, sim::kernels::KernelMode::Scalar);
+}
+BENCHMARK(BM_Apply2qScalar)->Arg(16)->Arg(20);
+
+/// Full compiled-plan execution of a hardware-efficient layer stack at
+/// n >= 16: the end-to-end statevector run line the blocked/SIMD kernels
+/// are meant to move (ry/rz rotations, cz chain, rzz ring).
+void statevector_run_large(benchmark::State& state,
+                           sim::kernels::KernelMode mode) {
+  const int n = static_cast<int>(state.range(0));
+  circuit::Circuit c(n);
+  int t = 0;
+  for (int layer = 0; layer < 2; ++layer) {
+    for (int q = 0; q < n; ++q)
+      c.add(circuit::GateKind::Ry, {q}, circuit::ParamRef::trainable(t++));
+    for (int q = 0; q + 1 < n; ++q) c.add(circuit::GateKind::Cz, {q, q + 1});
+    for (int q = 0; q + 1 < n; q += 2)
+      c.add(circuit::GateKind::Rzz, {q, q + 1},
+            circuit::ParamRef::trainable(t++));
+  }
+  const auto plan = exec::CompiledCircuit::compile(c);
+  Prng rng(9);
+  std::vector<double> theta(static_cast<std::size_t>(c.num_trainable()));
+  for (auto& v : theta) v = rng.uniform(-1, 1);
+  std::vector<double> angles;
+  sim::kernels::set_kernel_mode(mode);
+  sim::Statevector sv(n);
+  for (auto _ : state) {
+    plan.resolve_slots(theta, {}, exec::Evaluation::kNoShift, 0.0, angles);
+    sv.reset();
+    plan.apply(sv, angles);
+    benchmark::DoNotOptimize(sv.amplitude(0));
+  }
+  sim::kernels::set_kernel_mode(sim::kernels::KernelMode::Auto);
+  state.SetLabel(mode == sim::kernels::KernelMode::Scalar
+                     ? "scalar"
+                     : sim::kernels::simd_backend());
+}
+
+void BM_StatevectorRunLargeN(benchmark::State& state) {
+  statevector_run_large(state, sim::kernels::KernelMode::Auto);
+}
+BENCHMARK(BM_StatevectorRunLargeN)->Arg(16)->Arg(18)->Arg(20);
+
+void BM_StatevectorRunLargeNScalar(benchmark::State& state) {
+  statevector_run_large(state, sim::kernels::KernelMode::Scalar);
+}
+BENCHMARK(BM_StatevectorRunLargeNScalar)->Arg(16)->Arg(18)->Arg(20);
 
 void BM_ExpectationZAll(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -213,6 +292,28 @@ void BM_TranspileWithTemplate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TranspileWithTemplate);
+
+void BM_TranspileWithProgramCache(benchmark::State& state) {
+  // The zero-angle-pattern lowered-stream cache on top of the routed
+  // template (the path NoisyBackend/DensityMatrixBackend batches take):
+  // after the first binding of a pattern, per-evaluation work is recipe
+  // replay + decision validation instead of lower_to_basis + optimize.
+  const qml::QnnModel model = qml::make_fashion4_model();
+  Prng rng(3);
+  const auto theta = model.init_params(rng);
+  const std::vector<double> input(16, 0.5);
+  const auto device = noise::DeviceModel::ibmq_manila();
+  const transpile::RoutedProgram prog(
+      transpile::route_template(model.circuit(), device), device.n_qubits);
+  std::vector<double> angles;
+  for (auto _ : state) {
+    model.plan().resolve_source_angles(theta, input,
+                                       exec::Evaluation::kNoShift, 0.0,
+                                       angles);
+    benchmark::DoNotOptimize(prog.transpile(angles));
+  }
+}
+BENCHMARK(BM_TranspileWithProgramCache);
 
 void BM_NoisyBackendRunBatch(benchmark::State& state) {
   const qml::QnnModel model = qml::make_mnist2_model();

@@ -10,6 +10,7 @@
 #include "qoc/common/prng.hpp"
 #include "qoc/exec/compiled_circuit.hpp"
 #include "qoc/exec/observable.hpp"
+#include "qoc/sim/kernels.hpp"
 #include "qoc/vqe/vqe.hpp"
 
 namespace {
@@ -62,13 +63,29 @@ BENCHMARK(BM_VqeEnergyExactLegacy)->Arg(4)->Arg(8);
 
 void BM_VqeEnergyExactCompiled(benchmark::State& state) {
   // Same energy through the compiled plan + observable (bit-identical
-  // results; see tests/test_backend.cpp).
+  // results; see tests/test_backend.cpp). The n = 16 line is the
+  // large-register statevector path the blocked/SIMD kernels target.
   const auto f = Fixture::heisenberg(static_cast<int>(state.range(0)), 3);
   EnergyEstimator est(f.h);
   for (auto _ : state)
     benchmark::DoNotOptimize(est.energy(f.ansatz, f.theta));
+  state.SetLabel(sim::kernels::simd_backend());
 }
-BENCHMARK(BM_VqeEnergyExactCompiled)->Arg(4)->Arg(8);
+BENCHMARK(BM_VqeEnergyExactCompiled)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_VqeEnergyExactCompiledScalarKernels(benchmark::State& state) {
+  // The same compiled path forced onto the scalar reference kernels:
+  // the n = 16 regression guard for the blocked/SIMD layer
+  // (bit-identical results, see tests/test_kernels.cpp).
+  const auto f = Fixture::heisenberg(static_cast<int>(state.range(0)), 3);
+  EnergyEstimator est(f.h);
+  sim::kernels::set_kernel_mode(sim::kernels::KernelMode::Scalar);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(est.energy(f.ansatz, f.theta));
+  sim::kernels::set_kernel_mode(sim::kernels::KernelMode::Auto);
+  state.SetLabel("scalar");
+}
+BENCHMARK(BM_VqeEnergyExactCompiledScalarKernels)->Arg(16);
 
 void BM_VqeEnergySampledGrouped(benchmark::State& state) {
   // Finite-shot estimate: one measured execution per commuting group.

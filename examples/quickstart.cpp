@@ -4,7 +4,7 @@
 // This walks through the whole public API surface in ~80 lines:
 //   dataset -> model -> backend -> TrainingEngine -> accuracy.
 //
-// Build & run:   ./build/examples/quickstart
+// Build & run:   ./build/quickstart
 
 #include <cstdio>
 

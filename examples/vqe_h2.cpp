@@ -6,7 +6,7 @@
 // The H2 Hamiltonian is the standard 2-qubit tapered encoding; the exact
 // ground energy is computed by dense diagonalisation for reference.
 //
-// Build & run:   ./build/examples/vqe_h2
+// Build & run:   ./build/vqe_h2
 
 #include <cstdio>
 

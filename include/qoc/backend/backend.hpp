@@ -43,6 +43,7 @@
 #include "qoc/noise/channels.hpp"
 #include "qoc/noise/device_model.hpp"
 #include "qoc/sim/density_matrix.hpp"
+#include "qoc/transpile/lowered_cache.hpp"
 #include "qoc/transpile/transpile.hpp"
 
 namespace qoc::backend {
@@ -69,9 +70,17 @@ class Backend {
   }
 
   /// Execute every evaluation of the batch against the compiled plan.
-  /// `threads` fans evaluations across workers: 1 = sequential (default),
-  /// 0 = one per hardware core. Results are independent of the thread
-  /// count, and match the equivalent sequence of run() calls.
+  /// `threads` fans evaluations across workers of the shared pool:
+  /// 1 = sequential (default), 0 = one per hardware core.
+  ///
+  /// Determinism contract (shared by expect_batch and everything built
+  /// on them, e.g. vqe::EnergyEstimator::energies): results[k] is
+  /// bit-identical to the k-th call of the equivalent sequence of
+  /// run() invocations, for every thread count. Exact paths are
+  /// deterministic outright; stochastic paths derive one PRNG stream
+  /// per evaluation *in submission order* before any worker starts,
+  /// and each evaluation consumes only its own stream sequentially —
+  /// so scheduling order can never reorder draws.
   /// Each evaluation counts as one inference.
   std::vector<std::vector<double>> run_batch(
       const exec::CompiledCircuit& plan,
@@ -87,10 +96,13 @@ class Backend {
   /// basis-change suffix to the prepared state; exact backends evaluate
   /// every term analytically from one execution. Exact statevector
   /// results are bit-identical to the per-term loop
-  /// (vqe::Hamiltonian::expectation). Threading semantics match
-  /// run_batch: results are independent of `threads` and deterministic
-  /// in submission order. Inference accounting: one count per measured
-  /// execution (evals x groups when sampling, evals when exact).
+  /// (vqe::Hamiltonian::expectation). The run_batch determinism
+  /// contract applies verbatim: per-evaluation PRNG streams are
+  /// assigned in submission order and consumed sequentially inside
+  /// each evaluation (per measured group), so sampled energies are
+  /// bit-reproducible and thread-count invariant. Inference
+  /// accounting: one count per measured execution (evals x groups
+  /// when sampling, evals when exact).
   std::vector<double> expect_batch(const exec::CompiledCircuit& plan,
                                    const exec::CompiledObservable& observable,
                                    std::span<const exec::Evaluation> evals,
@@ -208,15 +220,23 @@ struct NoisyBackendOptions {
   bool enable_readout_error = true;
   /// Global multiplier on calibrated error rates (1.0 = calibrated).
   double noise_scale = 1.0;
+  /// Fuse CX.RZ.CX triples of the transpiled trajectory stream (the
+  /// lowered RZZ core) into one diagonal 2q kernel. Applies only when
+  /// the configured noise injects nothing between physical gates (noise
+  /// events are barriers a fused block may not straddle); results are
+  /// bit-identical either way, this is purely a speed knob / kill
+  /// switch.
+  bool fuse_trajectory_gates = true;
 };
 
 /// Device routing computed once per circuit structure and reused for
-/// every binding (see transpile::RoutedTemplate). Shared by the two
-/// transpiling backends.
+/// every binding (see transpile::RoutedTemplate), bundled with the
+/// per-zero-angle-pattern lowered-stream cache
+/// (transpile::RoutedProgram). Shared by the two transpiling backends.
 class TranspileCache {
  public:
-  /// Routed template for the plan's structure, computing it on miss.
-  std::shared_ptr<const transpile::RoutedTemplate> get(
+  /// Routed program for the plan's structure, computing it on miss.
+  std::shared_ptr<const transpile::RoutedProgram> get(
       const exec::CompiledCircuit& plan, const noise::DeviceModel& device);
 
  private:
@@ -229,7 +249,7 @@ class TranspileCache {
   std::unordered_map<
       std::uint64_t,
       std::vector<std::pair<std::string,
-                            std::shared_ptr<const transpile::RoutedTemplate>>>>
+                            std::shared_ptr<const transpile::RoutedProgram>>>>
       cache_;
   std::size_t entries_ = 0;
 };

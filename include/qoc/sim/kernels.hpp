@@ -1,0 +1,119 @@
+#pragma once
+// Vectorized, cache-blocked statevector kernels.
+//
+// Every Statevector gate application funnels through this layer. A gate on
+// qubit q touches amplitude pairs separated by stride = 2^(n-1-q), which
+// splits the qubit range into two regimes:
+//
+//   * the "low" regime (the qubit -- or for 2q kernels the lower
+//     operand -- has stride 1): paired amplitudes are adjacent in
+//     memory, so one SIMD register spans a whole amplitude group. Each
+//     kernel has a dedicated stride==1 (2q: min-stride==1) path using
+//     shuffle/broadcast forms of the complex arithmetic.
+//   * the "high" regime (every other stride): the pairs are far apart,
+//     but each group decomposes into *contiguous runs* of length
+//     min-stride (>= 2, so full vector width). The blocked enumeration
+//     walks base blocks so the kernel streams 2 (1q) or 4 (2q)
+//     sequential runs at a time -- L1/L2-friendly and SIMD-vectorizable
+//     along the run -- instead of scanning the full index space with a
+//     skip-mask branch per element.
+//
+// Dispatch policy (see also src/README.md, "Kernel dispatch"):
+//   * KernelMode::Scalar   -- the scalar reference loops (the pre-SIMD
+//                             implementation, kept as the parity oracle).
+//   * KernelMode::Blocked  -- blocked enumeration, portable C++ only.
+//   * KernelMode::Simd     -- blocked enumeration with the AVX2 inner
+//                             loops when (a) the build enabled them
+//                             (CMake compiles kernels_avx2.cpp with
+//                             -mavx2 when the compiler supports it) and
+//                             (b) the CPU reports AVX2 at runtime;
+//                             otherwise falls back to Blocked.
+//   * KernelMode::Auto     -- Simd. The default.
+//
+// Bit-exactness contract: for every kernel and every mode, the arithmetic
+// performed on each amplitude is IDENTICAL (same IEEE operations in the
+// same order) to the scalar reference -- the SIMD forms only batch
+// independent groups, never re-associate sums, and the kernel TUs are
+// compiled with -ffp-contract=off so no path contracts to FMA. Results
+// are therefore bit-identical across modes (up to the sign of zeros,
+// which probabilities and expectation values cannot see). Asserted for
+// n = 16/18/20 in tests/test_kernels.cpp.
+
+#include <complex>
+#include <cstddef>
+
+#include "qoc/linalg/matrix.hpp"
+
+namespace qoc::sim::kernels {
+
+using linalg::cplx;
+
+enum class KernelMode { Auto, Scalar, Blocked, Simd };
+
+/// Process-wide kernel mode (atomic; Auto by default). Intended for
+/// tests and benchmarks -- production code leaves it at Auto.
+void set_kernel_mode(KernelMode mode);
+KernelMode kernel_mode();
+
+/// Name of the SIMD backend Simd/Auto dispatches to on this build+CPU:
+/// "avx2", or "portable" when no vector ISA path is available.
+const char* simd_backend();
+
+// ---- Kernels ---------------------------------------------------------------
+// All strides are in units of cplx elements and are powers of two; `dim`
+// is the full amplitude count (2^n). Matrices are row-major stack
+// buffers. Callers validate qubit indices; kernels assume valid input.
+
+/// amps[i0], amps[i1=i0+stride] <- 2x2 m applied to each pair.
+void apply_1q(cplx* amps, std::size_t dim, std::size_t stride,
+              const cplx* m);
+
+/// 4x4 m applied to each (sa, sb) group; sa indexes the higher matrix bit.
+void apply_2q(cplx* amps, std::size_t dim, std::size_t sa, std::size_t sb,
+              const cplx* m);
+
+/// diag(d0, d1) on the stride-`stride` qubit.
+void apply_diag_1q(cplx* amps, std::size_t dim, std::size_t stride, cplx d0,
+                   cplx d1);
+
+/// diag(d[0..3]) over the (sa, sb) pair; d indexed by (bit_a << 1) | bit_b.
+void apply_diag_2q(cplx* amps, std::size_t dim, std::size_t sa,
+                   std::size_t sb, const cplx* d);
+
+/// CX: swap the target pair where the control bit is set.
+void apply_cx(cplx* amps, std::size_t dim, std::size_t sc, std::size_t st);
+
+/// CZ: negate amplitudes where both bits are set.
+void apply_cz(cplx* amps, std::size_t dim, std::size_t sa, std::size_t sb);
+
+/// SWAP: exchange the |01> and |10> amplitudes of each group.
+void apply_swap(cplx* amps, std::size_t dim, std::size_t sa, std::size_t sb);
+
+void apply_pauli_x(cplx* amps, std::size_t dim, std::size_t stride);
+void apply_pauli_y(cplx* amps, std::size_t dim, std::size_t stride);
+void apply_pauli_z(cplx* amps, std::size_t dim, std::size_t stride);
+
+namespace detail {
+
+/// Function table for one SIMD ISA. Entries may be null (kernel has no
+/// ISA-specific form; the portable blocked loop is used instead).
+struct SimdVTable {
+  const char* name = nullptr;
+  void (*apply_1q)(cplx*, std::size_t, std::size_t, const cplx*) = nullptr;
+  void (*apply_2q)(cplx*, std::size_t, std::size_t, std::size_t,
+                   const cplx*) = nullptr;
+  void (*apply_diag_1q)(cplx*, std::size_t, std::size_t, cplx,
+                        cplx) = nullptr;
+  void (*apply_diag_2q)(cplx*, std::size_t, std::size_t, std::size_t,
+                        const cplx*) = nullptr;
+  void (*apply_pauli_y)(cplx*, std::size_t, std::size_t) = nullptr;
+};
+
+/// Defined in kernels_avx2.cpp: the AVX2 table when that TU was built
+/// with -mavx2, nullptr otherwise. Runtime CPU support is checked by the
+/// dispatcher, not here.
+const SimdVTable* avx2_vtable();
+
+}  // namespace detail
+
+}  // namespace qoc::sim::kernels

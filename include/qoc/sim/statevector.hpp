@@ -11,6 +11,11 @@
 //
 // Bit convention: qubit 0 is the MOST significant bit of the basis index.
 // |q0 q1 ... q_{n-1}> corresponds to index (q0 << (n-1)) | ... | q_{n-1}.
+//
+// Gate applications dispatch through the vectorized, cache-blocked
+// kernel layer in qoc/sim/kernels.hpp (scalar reference / portable
+// blocked / AVX2 paths, bit-identical across modes); the methods here
+// validate operands and compute strides.
 
 #include <cstdint>
 #include <vector>

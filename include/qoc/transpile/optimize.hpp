@@ -21,6 +21,12 @@
 
 namespace qoc::transpile {
 
+/// True when `angle` is 0 (mod 2 pi) within the pipeline's tolerance.
+/// THE canonical zero test: lowering elision, merge_rz cleanup and the
+/// RoutedProgram replay validation all share this single definition --
+/// the cache's bit-identical-replay contract depends on them agreeing.
+bool rz_angle_is_zero(double angle);
+
 /// Fuse consecutive RZ rotations per qubit (they commute with nothing in
 /// between on that qubit's timeline); elide zero rotations.
 std::vector<BoundOp> merge_rz(const std::vector<BoundOp>& ops);

@@ -103,8 +103,14 @@ struct VqeConfig {
   bool use_pruning = false;
   train::PrunerConfig pruner;
   std::uint64_t seed = 1;
-  /// Worker threads for the batched energy sweeps (1 = sequential,
-  /// 0 = one per hardware core). Results are thread-count invariant.
+  /// Worker threads for the batched energy sweeps the solver submits
+  /// (every gradient is one EnergyEstimator::energies call): 1 =
+  /// sequential, 0 = one worker per hardware core, n = at most n
+  /// workers of the shared qoc::common::ThreadPool. Inherits the
+  /// Backend::run_batch / expect_batch determinism contract —
+  /// per-evaluation PRNG streams are assigned in submission order, so
+  /// a VQE trajectory is bit-reproducible for every value of
+  /// `threads`, and changing `threads` changes wall-clock only.
   unsigned threads = 1;
 };
 

@@ -98,7 +98,7 @@ std::vector<double> Backend::execute_expect_batch(
 // TranspileCache
 // ---------------------------------------------------------------------------
 
-std::shared_ptr<const transpile::RoutedTemplate> TranspileCache::get(
+std::shared_ptr<const transpile::RoutedProgram> TranspileCache::get(
     const exec::CompiledCircuit& plan, const noise::DeviceModel& device) {
   // Probe by the cheap structure hash, but NEVER trust a hash hit alone:
   // structure_hash() explicitly allows collisions, and serving a
@@ -116,8 +116,8 @@ std::shared_ptr<const transpile::RoutedTemplate> TranspileCache::get(
   // Route before touching the map: route_template throws for unroutable
   // circuits, and an early insert would leak an empty bucket the
   // entries_ cap never sees.
-  auto tmpl = std::make_shared<const transpile::RoutedTemplate>(
-      transpile::route_template(plan.source(), device));
+  auto tmpl = std::make_shared<const transpile::RoutedProgram>(
+      transpile::route_template(plan.source(), device), device.n_qubits);
   cache_[plan.structure_hash()].emplace_back(plan.signature(), tmpl);
   ++entries_;
   return tmpl;
@@ -383,8 +383,7 @@ std::vector<std::vector<double>> DensityMatrixBackend::execute_batch(
           const auto& e = evals[k];
           plan.resolve_source_angles(e.theta, e.input, e.shift_op, e.shift,
                                      angles);
-          const auto t =
-              transpile::transpile_with_angles(*tmpl, angles, device_);
+          const auto t = tmpl->transpile(angles);
           results[k] = run_transpiled(t, plan.num_qubits());
         }
       },
@@ -414,8 +413,7 @@ std::vector<double> DensityMatrixBackend::execute_expect_batch(
           const auto& e = evals[k];
           plan.resolve_source_angles(e.theta, e.input, e.shift_op, e.shift,
                                      angles);
-          const auto t =
-              transpile::transpile_with_angles(*tmpl, angles, device_);
+          const auto t = tmpl->transpile(angles);
           const sim::DensityMatrix rho = evolve_transpiled(t);
 
           double energy = observable.constant();
@@ -535,16 +533,23 @@ void inject_depolarizing(sim::Statevector& sv, int q0, int q1, double p,
 /// else is a pipeline bug and throws rather than degrading the noise
 /// model silently.
 struct TrajectoryProgram {
-  enum class K : std::uint8_t { Rz, Sx, X, Cx };
+  enum class K : std::uint8_t { Rz, Sx, X, Cx, Diag2q };
   struct Op {
     K k;
     int q0 = -1, q1 = -1;
-    cplx d0, d1;  // Rz diagonal
+    cplx d0, d1;  // Rz diagonal; Diag2q applies (d0, d1, d1, d0)
   };
   std::vector<Op> ops;
   Matrix sx = sim::gate_sx();
 
-  explicit TrajectoryProgram(const transpile::Transpiled& t) {
+  /// `fuse_cx_rz_cx` folds every adjacent CX a b; RZ(t) b; CX a b triple
+  /// (the lowered form of an RZZ core) into one Diag2q op. The fusion is
+  /// bit-identical -- each amplitude receives exactly one multiplication
+  /// by the same diagonal entry -- but it elides two noise injection
+  /// points, so callers must only enable it when the noise tables inject
+  /// nothing between physical gates (NoiseTables::gates_are_noiseless).
+  explicit TrajectoryProgram(const transpile::Transpiled& t,
+                             bool fuse_cx_rz_cx = false) {
     ops.reserve(t.ops.size());
     for (const auto& bop : t.ops) {
       Op op;
@@ -564,6 +569,26 @@ struct TrajectoryProgram {
         case GateKind::Cx:
           op.k = K::Cx;
           op.q1 = bop.qubits[1];
+          if (fuse_cx_rz_cx && ops.size() >= 2) {
+            // Match [Cx(a,b), Rz(b), Cx(a,b)] just completed by this op:
+            // CX conjugation of a target diagonal is diag(d0, d1, d1, d0)
+            // over (control, target).
+            const Op& rz = ops[ops.size() - 1];
+            const Op& cx = ops[ops.size() - 2];
+            if (cx.k == K::Cx && rz.k == K::Rz && cx.q0 == op.q0 &&
+                cx.q1 == op.q1 && rz.q0 == op.q1) {
+              Op fused;
+              fused.k = K::Diag2q;
+              fused.q0 = op.q0;
+              fused.q1 = op.q1;
+              fused.d0 = rz.d0;
+              fused.d1 = rz.d1;
+              ops.pop_back();
+              ops.pop_back();
+              ops.push_back(fused);
+              continue;
+            }
+          }
           break;
         default:
           throw std::logic_error("TrajectoryProgram: unexpected gate '" +
@@ -587,6 +612,9 @@ struct TrajectoryProgram {
         break;
       case K::Cx:
         sv.apply_cx(op.q0, op.q1);
+        break;
+      case K::Diag2q:
+        sv.apply_diag_2q(op.d0, op.d1, op.d1, op.d0, op.q0, op.q1);
         break;
     }
   }
@@ -628,6 +656,14 @@ struct NoisyBackend::NoiseTables {
     }
   }
 
+  /// True when no noise event is ever injected between physical gates:
+  /// every gate application in evolve() is then a pure unitary, which is
+  /// what licenses TrajectoryProgram's CX.RZ.CX fusion (a fused block
+  /// may not straddle a noise barrier).
+  bool gates_are_noiseless() const {
+    return p1 <= 0.0 && p2 <= 0.0 && !relaxation;
+  }
+
   /// Evolve one noisy trajectory of `program` into sv.
   void evolve(const TrajectoryProgram& program, sim::Statevector& sv,
               Prng& rng) const {
@@ -635,6 +671,9 @@ struct NoisyBackend::NoiseTables {
       program.apply(sv, op);
       // Virtual RZ: frame change only, no physical pulse, no error.
       if (op.k == TrajectoryProgram::K::Rz) continue;
+      // Fused CX.RZ.CX blocks only exist when gates_are_noiseless(), so
+      // their two elided injection points were no-ops by construction.
+      if (op.k == TrajectoryProgram::K::Diag2q) continue;
       if (op.q1 < 0) {
         inject_depolarizing(sv, op.q0, -1, p1, rng);
         if (relaxation)
@@ -657,7 +696,8 @@ std::vector<double> NoisyBackend::run_transpiled(
     const transpile::Transpiled& t, const NoiseTables& tables, int n_logical,
     std::uint64_t serial) const {
   const int n_phys = device_.n_qubits;
-  const TrajectoryProgram program(t);
+  const TrajectoryProgram program(
+      t, options_.fuse_trajectory_gates && tables.gates_are_noiseless());
 
   const int n_traj = options_.trajectories;
   const int shots_per_traj = std::max(1, options_.shots / n_traj);
@@ -700,7 +740,8 @@ double NoisyBackend::expect_transpiled(
   // sampling with classical readout flips on the measured qubits.
   const int n_logical = observable.num_qubits();
   const int n_phys = device_.n_qubits;
-  const TrajectoryProgram program(t);
+  const TrajectoryProgram program(
+      t, options_.fuse_trajectory_gates && tables.gates_are_noiseless());
 
   const int n_traj = options_.trajectories;
   const int shots_per_traj = std::max(1, options_.shots / n_traj);
@@ -786,8 +827,7 @@ std::vector<std::vector<double>> NoisyBackend::execute_batch(
           const auto& e = evals[k];
           plan.resolve_source_angles(e.theta, e.input, e.shift_op, e.shift,
                                      angles);
-          const auto t =
-              transpile::transpile_with_angles(*tmpl, angles, device_);
+          const auto t = tmpl->transpile(angles);
           results[k] = run_transpiled(t, tables, plan.num_qubits(), base + k);
         }
       },
@@ -817,8 +857,7 @@ std::vector<double> NoisyBackend::execute_expect_batch(
           const auto& e = evals[k];
           plan.resolve_source_angles(e.theta, e.input, e.shift_op, e.shift,
                                      angles);
-          const auto t =
-              transpile::transpile_with_angles(*tmpl, angles, device_);
+          const auto t = tmpl->transpile(angles);
           results[k] = expect_transpiled(t, tables, observable, base + k);
         }
       },

@@ -1,0 +1,368 @@
+// Statevector kernel dispatch: scalar reference loops (the parity oracle)
+// and the portable blocked implementations. This TU and kernels_avx2.cpp
+// are compiled with -ffp-contract=off so every mode performs literally
+// the same IEEE operations (see the contract in kernels.hpp).
+
+#include "qoc/sim/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace qoc::sim::kernels {
+
+namespace {
+
+std::atomic<KernelMode> g_mode{KernelMode::Auto};
+
+/// The active SIMD table: compiled in AND supported by this CPU.
+const detail::SimdVTable* active_simd() {
+  static const detail::SimdVTable* table = [] {
+    const detail::SimdVTable* t = detail::avx2_vtable();
+#if defined(__x86_64__) || defined(__i386__)
+    if (t != nullptr && __builtin_cpu_supports("avx2")) return t;
+#endif
+    return static_cast<const detail::SimdVTable*>(nullptr);
+  }();
+  return table;
+}
+
+enum class Path { Scalar, Blocked, Simd };
+
+Path resolve_path() {
+  switch (g_mode.load(std::memory_order_relaxed)) {
+    case KernelMode::Scalar:
+      return Path::Scalar;
+    case KernelMode::Blocked:
+      return Path::Blocked;
+    case KernelMode::Simd:
+    case KernelMode::Auto:
+      return active_simd() ? Path::Simd : Path::Blocked;
+  }
+  return Path::Blocked;
+}
+
+// ---- Scalar reference ------------------------------------------------------
+// These are the pre-SIMD Statevector loops, verbatim. They define the
+// arithmetic every other path must reproduce bit-for-bit.
+
+void scalar_apply_1q(cplx* amps, std::size_t dim, std::size_t stride,
+                     const cplx* m) {
+  const cplx m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    for (std::size_t off = 0; off < stride; ++off) {
+      const std::size_t i0 = base + off;
+      const std::size_t i1 = i0 + stride;
+      const cplx a0 = amps[i0];
+      const cplx a1 = amps[i1];
+      amps[i0] = m00 * a0 + m01 * a1;
+      amps[i1] = m10 * a0 + m11 * a1;
+    }
+  }
+}
+
+void scalar_apply_2q(cplx* amps, std::size_t dim, std::size_t sa,
+                     std::size_t sb, const cplx* m) {
+  const std::size_t mask = sa | sb;
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (i & mask) continue;  // visit each group once, via its 00 member
+    const std::size_t i00 = i;
+    const std::size_t i01 = i | sb;
+    const std::size_t i10 = i | sa;
+    const std::size_t i11 = i | sa | sb;
+    const cplx a00 = amps[i00], a01 = amps[i01], a10 = amps[i10],
+               a11 = amps[i11];
+    amps[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+    amps[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+    amps[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+    amps[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+  }
+}
+
+void scalar_apply_diag_1q(cplx* amps, std::size_t dim, std::size_t stride,
+                          cplx d0, cplx d1) {
+  for (std::size_t i = 0; i < dim; ++i)
+    amps[i] = ((i & stride) ? d1 : d0) * amps[i];
+}
+
+void scalar_apply_diag_2q(cplx* amps, std::size_t dim, std::size_t sa,
+                          std::size_t sb, const cplx* d) {
+  for (std::size_t i = 0; i < dim; ++i) {
+    const std::size_t idx = (((i & sa) ? 2u : 0u) | ((i & sb) ? 1u : 0u));
+    amps[i] = d[idx] * amps[i];
+  }
+}
+
+void scalar_apply_cx(cplx* amps, std::size_t dim, std::size_t sc,
+                     std::size_t st) {
+  for (std::size_t i = 0; i < dim; ++i)
+    if ((i & sc) && !(i & st)) std::swap(amps[i], amps[i | st]);
+}
+
+void scalar_apply_cz(cplx* amps, std::size_t dim, std::size_t sa,
+                     std::size_t sb) {
+  const std::size_t both = sa | sb;
+  for (std::size_t i = 0; i < dim; ++i)
+    if ((i & both) == both) amps[i] = -amps[i];
+}
+
+void scalar_apply_swap(cplx* amps, std::size_t dim, std::size_t sa,
+                       std::size_t sb) {
+  for (std::size_t i = 0; i < dim; ++i)
+    if ((i & sa) && !(i & sb)) std::swap(amps[i], amps[(i ^ sa) | sb]);
+}
+
+void scalar_apply_pauli_x(cplx* amps, std::size_t dim, std::size_t stride) {
+  for (std::size_t base = 0; base < dim; base += 2 * stride)
+    for (std::size_t off = 0; off < stride; ++off)
+      std::swap(amps[base + off], amps[base + off + stride]);
+}
+
+void scalar_apply_pauli_y(cplx* amps, std::size_t dim, std::size_t stride) {
+  const cplx i{0.0, 1.0};
+  for (std::size_t base = 0; base < dim; base += 2 * stride)
+    for (std::size_t off = 0; off < stride; ++off) {
+      const std::size_t i0 = base + off;
+      const std::size_t i1 = i0 + stride;
+      const cplx a0 = amps[i0];
+      const cplx a1 = amps[i1];
+      amps[i0] = -i * a1;
+      amps[i1] = i * a0;
+    }
+}
+
+void scalar_apply_pauli_z(cplx* amps, std::size_t dim, std::size_t stride) {
+  for (std::size_t base = stride; base < dim; base += 2 * stride)
+    for (std::size_t off = 0; off < stride; ++off)
+      amps[base + off] = -amps[base + off];
+}
+
+// ---- Portable blocked ------------------------------------------------------
+// Group enumeration by nested base blocks: the inner index runs over the
+// bits below the smallest operand stride, so every memory access is a
+// contiguous run and the skip-mask branch of the scalar 2q/diag/cz loops
+// disappears. Per-element arithmetic is written with the exact same
+// complex expressions as the scalar reference.
+
+void blocked_apply_2q(cplx* amps, std::size_t dim, std::size_t sa,
+                      std::size_t sb, const cplx* m) {
+  const std::size_t s1 = std::min(sa, sb);
+  const std::size_t s2 = std::max(sa, sb);
+  for (std::size_t b2 = 0; b2 < dim; b2 += 2 * s2) {
+    for (std::size_t b1 = b2; b1 < b2 + s2; b1 += 2 * s1) {
+      for (std::size_t i = b1; i < b1 + s1; ++i) {
+        const std::size_t i01 = i + sb;
+        const std::size_t i10 = i + sa;
+        const std::size_t i11 = i + sa + sb;
+        const cplx a00 = amps[i], a01 = amps[i01], a10 = amps[i10],
+                   a11 = amps[i11];
+        amps[i] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+        amps[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+        amps[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+        amps[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+      }
+    }
+  }
+}
+
+void blocked_apply_diag_1q(cplx* amps, std::size_t dim, std::size_t stride,
+                           cplx d0, cplx d1) {
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) amps[i] = d0 * amps[i];
+    for (std::size_t i = base + stride; i < base + 2 * stride; ++i)
+      amps[i] = d1 * amps[i];
+  }
+}
+
+void blocked_apply_diag_2q(cplx* amps, std::size_t dim, std::size_t sa,
+                           std::size_t sb, const cplx* d) {
+  const std::size_t s1 = std::min(sa, sb);
+  const std::size_t s2 = std::max(sa, sb);
+  for (std::size_t b2 = 0; b2 < dim; b2 += 2 * s2) {
+    for (std::size_t b1 = b2; b1 < b2 + s2; b1 += 2 * s1) {
+      for (std::size_t i = b1; i < b1 + s1; ++i) amps[i] = d[0] * amps[i];
+      for (std::size_t i = b1 + sb; i < b1 + sb + s1; ++i)
+        amps[i] = d[1] * amps[i];
+      for (std::size_t i = b1 + sa; i < b1 + sa + s1; ++i)
+        amps[i] = d[2] * amps[i];
+      for (std::size_t i = b1 + sa + sb; i < b1 + sa + sb + s1; ++i)
+        amps[i] = d[3] * amps[i];
+    }
+  }
+}
+
+void blocked_apply_cx(cplx* amps, std::size_t dim, std::size_t sc,
+                      std::size_t st) {
+  const std::size_t s1 = std::min(sc, st);
+  const std::size_t s2 = std::max(sc, st);
+  for (std::size_t b2 = 0; b2 < dim; b2 += 2 * s2)
+    for (std::size_t b1 = b2; b1 < b2 + s2; b1 += 2 * s1)
+      std::swap_ranges(amps + b1 + sc, amps + b1 + sc + s1,
+                       amps + b1 + sc + st);
+}
+
+void blocked_apply_cz(cplx* amps, std::size_t dim, std::size_t sa,
+                      std::size_t sb) {
+  const std::size_t s1 = std::min(sa, sb);
+  const std::size_t s2 = std::max(sa, sb);
+  for (std::size_t b2 = 0; b2 < dim; b2 += 2 * s2)
+    for (std::size_t b1 = b2; b1 < b2 + s2; b1 += 2 * s1)
+      for (std::size_t i = b1 + sa + sb; i < b1 + sa + sb + s1; ++i)
+        amps[i] = -amps[i];
+}
+
+void blocked_apply_swap(cplx* amps, std::size_t dim, std::size_t sa,
+                        std::size_t sb) {
+  const std::size_t s1 = std::min(sa, sb);
+  const std::size_t s2 = std::max(sa, sb);
+  for (std::size_t b2 = 0; b2 < dim; b2 += 2 * s2)
+    for (std::size_t b1 = b2; b1 < b2 + s2; b1 += 2 * s1)
+      std::swap_ranges(amps + b1 + sa, amps + b1 + sa + s1, amps + b1 + sb);
+}
+
+void blocked_apply_pauli_x(cplx* amps, std::size_t dim, std::size_t stride) {
+  for (std::size_t base = 0; base < dim; base += 2 * stride)
+    std::swap_ranges(amps + base, amps + base + stride, amps + base + stride);
+}
+
+void blocked_apply_pauli_z(cplx* amps, std::size_t dim, std::size_t stride) {
+  for (std::size_t base = stride; base < dim; base += 2 * stride)
+    for (std::size_t i = base; i < base + stride; ++i) amps[i] = -amps[i];
+}
+
+}  // namespace
+
+void set_kernel_mode(KernelMode mode) {
+  g_mode.store(mode, std::memory_order_relaxed);
+}
+
+KernelMode kernel_mode() { return g_mode.load(std::memory_order_relaxed); }
+
+const char* simd_backend() {
+  const detail::SimdVTable* t = active_simd();
+  return t != nullptr ? t->name : "portable";
+}
+
+void apply_1q(cplx* amps, std::size_t dim, std::size_t stride,
+              const cplx* m) {
+  const Path p = resolve_path();
+  if (p == Path::Simd) {
+    if (const auto* t = active_simd(); t->apply_1q != nullptr) {
+      t->apply_1q(amps, dim, stride, m);
+      return;
+    }
+  }
+  // The scalar 1q loop is already the blocked enumeration (contiguous
+  // runs, no skip mask), so Blocked shares it.
+  scalar_apply_1q(amps, dim, stride, m);
+}
+
+void apply_2q(cplx* amps, std::size_t dim, std::size_t sa, std::size_t sb,
+              const cplx* m) {
+  switch (resolve_path()) {
+    case Path::Scalar:
+      scalar_apply_2q(amps, dim, sa, sb, m);
+      return;
+    case Path::Simd:
+      if (const auto* t = active_simd(); t->apply_2q != nullptr) {
+        t->apply_2q(amps, dim, sa, sb, m);
+        return;
+      }
+      [[fallthrough]];
+    case Path::Blocked:
+      blocked_apply_2q(amps, dim, sa, sb, m);
+      return;
+  }
+}
+
+void apply_diag_1q(cplx* amps, std::size_t dim, std::size_t stride, cplx d0,
+                   cplx d1) {
+  switch (resolve_path()) {
+    case Path::Scalar:
+      scalar_apply_diag_1q(amps, dim, stride, d0, d1);
+      return;
+    case Path::Simd:
+      if (const auto* t = active_simd(); t->apply_diag_1q != nullptr) {
+        t->apply_diag_1q(amps, dim, stride, d0, d1);
+        return;
+      }
+      [[fallthrough]];
+    case Path::Blocked:
+      blocked_apply_diag_1q(amps, dim, stride, d0, d1);
+      return;
+  }
+}
+
+void apply_diag_2q(cplx* amps, std::size_t dim, std::size_t sa,
+                   std::size_t sb, const cplx* d) {
+  switch (resolve_path()) {
+    case Path::Scalar:
+      scalar_apply_diag_2q(amps, dim, sa, sb, d);
+      return;
+    case Path::Simd:
+      if (const auto* t = active_simd(); t->apply_diag_2q != nullptr) {
+        t->apply_diag_2q(amps, dim, sa, sb, d);
+        return;
+      }
+      [[fallthrough]];
+    case Path::Blocked:
+      blocked_apply_diag_2q(amps, dim, sa, sb, d);
+      return;
+  }
+}
+
+void apply_cx(cplx* amps, std::size_t dim, std::size_t sc, std::size_t st) {
+  // Pure data movement: the blocked swap_ranges form auto-vectorizes, so
+  // no ISA-specific variant exists.
+  if (resolve_path() == Path::Scalar)
+    scalar_apply_cx(amps, dim, sc, st);
+  else
+    blocked_apply_cx(amps, dim, sc, st);
+}
+
+void apply_cz(cplx* amps, std::size_t dim, std::size_t sa, std::size_t sb) {
+  if (resolve_path() == Path::Scalar)
+    scalar_apply_cz(amps, dim, sa, sb);
+  else
+    blocked_apply_cz(amps, dim, sa, sb);
+}
+
+void apply_swap(cplx* amps, std::size_t dim, std::size_t sa, std::size_t sb) {
+  if (resolve_path() == Path::Scalar)
+    scalar_apply_swap(amps, dim, sa, sb);
+  else
+    blocked_apply_swap(amps, dim, sa, sb);
+}
+
+void apply_pauli_x(cplx* amps, std::size_t dim, std::size_t stride) {
+  if (resolve_path() == Path::Scalar)
+    scalar_apply_pauli_x(amps, dim, stride);
+  else
+    blocked_apply_pauli_x(amps, dim, stride);
+}
+
+void apply_pauli_y(cplx* amps, std::size_t dim, std::size_t stride) {
+  switch (resolve_path()) {
+    case Path::Scalar:
+      scalar_apply_pauli_y(amps, dim, stride);
+      return;
+    case Path::Simd:
+      if (const auto* t = active_simd(); t->apply_pauli_y != nullptr) {
+        t->apply_pauli_y(amps, dim, stride);
+        return;
+      }
+      [[fallthrough]];
+    case Path::Blocked:
+      scalar_apply_pauli_y(amps, dim, stride);  // already blocked form
+      return;
+  }
+}
+
+void apply_pauli_z(cplx* amps, std::size_t dim, std::size_t stride) {
+  if (resolve_path() == Path::Scalar)
+    scalar_apply_pauli_z(amps, dim, stride);
+  else
+    blocked_apply_pauli_z(amps, dim, stride);
+}
+
+}  // namespace qoc::sim::kernels

@@ -1,0 +1,259 @@
+// AVX2 statevector kernels. CMake compiles this TU with -mavx2 (and
+// -ffp-contract=off) when the compiler supports it; without __AVX2__ the
+// file contributes only a null vtable, and the dispatcher falls back to
+// the portable blocked loops.
+//
+// Every vector expression mirrors the scalar reference arithmetic
+// operation-for-operation: complex products expand to mul/mul/addsub
+// (never FMA), and sums keep the reference's left-to-right association.
+// Only independent amplitude groups are batched into lanes, so results
+// are bit-identical to KernelMode::Scalar (see kernels.hpp).
+
+#include "qoc/sim/kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace qoc::sim::kernels {
+namespace {
+
+/// Per-lane complex product a*b of two packed [re, im, re, im] vectors.
+/// Lane arithmetic: re = a.re*b.re - a.im*b.im; im = a.im*b.re + a.re*b.im
+/// -- the scalar operator* products and sum order, commuted per factor
+/// (IEEE mul/add are commutative bitwise for finite values).
+inline __m256d cmul(__m256d a, __m256d b) {
+  const __m256d b_re = _mm256_movedup_pd(b);       // [b.re, b.re] per lane
+  const __m256d b_im = _mm256_permute_pd(b, 0xF);  // [b.im, b.im] per lane
+  const __m256d a_sw = _mm256_permute_pd(a, 0x5);  // [a.im, a.re] per lane
+  return _mm256_addsub_pd(_mm256_mul_pd(a, b_re), _mm256_mul_pd(a_sw, b_im));
+}
+
+/// One complex scalar broadcast to both lanes.
+inline __m256d bcast(const cplx* p) {
+  return _mm256_broadcast_pd(reinterpret_cast<const __m128d*>(p));
+}
+
+/// Two complex scalars packed as [lo | hi].
+inline __m256d pack2(const cplx* lo, const cplx* hi) {
+  return _mm256_set_m128d(_mm_loadu_pd(reinterpret_cast<const double*>(hi)),
+                          _mm_loadu_pd(reinterpret_cast<const double*>(lo)));
+}
+
+inline __m256d load2(const cplx* p) {
+  return _mm256_loadu_pd(reinterpret_cast<const double*>(p));
+}
+
+inline void store2(cplx* p, __m256d v) {
+  _mm256_storeu_pd(reinterpret_cast<double*>(p), v);
+}
+
+inline __m256d dup_lo(__m256d v) { return _mm256_permute2f128_pd(v, v, 0x00); }
+inline __m256d dup_hi(__m256d v) { return _mm256_permute2f128_pd(v, v, 0x11); }
+
+void avx2_apply_1q(cplx* amps, std::size_t dim, std::size_t stride,
+                   const cplx* m) {
+  if (stride == 1) {
+    // Lowest qubit: each 32-byte load holds one full (a0, a1) group.
+    const __m256d c0 = pack2(&m[0], &m[2]);  // [m00 | m10]
+    const __m256d c1 = pack2(&m[1], &m[3]);  // [m01 | m11]
+    for (std::size_t base = 0; base < dim; base += 2) {
+      const __m256d v = load2(amps + base);
+      const __m256d r =
+          _mm256_add_pd(cmul(dup_lo(v), c0), cmul(dup_hi(v), c1));
+      store2(amps + base, r);
+    }
+    return;
+  }
+  const __m256d m00 = bcast(&m[0]), m01 = bcast(&m[1]);
+  const __m256d m10 = bcast(&m[2]), m11 = bcast(&m[3]);
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    for (std::size_t off = 0; off < stride; off += 2) {
+      cplx* p0 = amps + base + off;
+      cplx* p1 = p0 + stride;
+      const __m256d a0 = load2(p0);
+      const __m256d a1 = load2(p1);
+      store2(p0, _mm256_add_pd(cmul(a0, m00), cmul(a1, m01)));
+      store2(p1, _mm256_add_pd(cmul(a0, m10), cmul(a1, m11)));
+    }
+  }
+}
+
+void avx2_apply_2q(cplx* amps, std::size_t dim, std::size_t sa,
+                   std::size_t sb, const cplx* m) {
+  const std::size_t s1 = std::min(sa, sb);
+  const std::size_t s2 = std::max(sa, sb);
+
+  if (s1 == 1) {
+    // One operand is the lowest qubit: each group is two adjacent pairs
+    // at i and i + s2. Pair memory order depends on which operand has
+    // stride 1 (sb == 1: pairs are (a00,a01)/(a10,a11); sa == 1:
+    // (a00,a10)/(a01,a11)). Row/column packing below follows that map.
+    const bool b_low = (sb == 1);
+    const int p0r0 = 0, p0r1 = b_low ? 1 : 2;
+    const int p1r0 = b_low ? 2 : 1, p1r1 = 3;
+    __m256d m_p0[4], m_p1[4];  // per-column matrix entries for each pair
+    for (int c = 0; c < 4; ++c) {
+      m_p0[c] = pack2(&m[p0r0 * 4 + c], &m[p0r1 * 4 + c]);
+      m_p1[c] = pack2(&m[p1r0 * 4 + c], &m[p1r1 * 4 + c]);
+    }
+    for (std::size_t b2 = 0; b2 < dim; b2 += 2 * s2) {
+      for (std::size_t i = b2; i < b2 + s2; i += 2) {
+        const __m256d pair0 = load2(amps + i);
+        const __m256d pair1 = load2(amps + i + s2);
+        // Column amplitudes broadcast to both lanes, in matrix order.
+        const __m256d a0 = dup_lo(pair0);
+        const __m256d a1 = b_low ? dup_hi(pair0) : dup_lo(pair1);
+        const __m256d a2 = b_low ? dup_lo(pair1) : dup_hi(pair0);
+        const __m256d a3 = dup_hi(pair1);
+        const __m256d r0 = _mm256_add_pd(
+            _mm256_add_pd(
+                _mm256_add_pd(cmul(a0, m_p0[0]), cmul(a1, m_p0[1])),
+                cmul(a2, m_p0[2])),
+            cmul(a3, m_p0[3]));
+        const __m256d r1 = _mm256_add_pd(
+            _mm256_add_pd(
+                _mm256_add_pd(cmul(a0, m_p1[0]), cmul(a1, m_p1[1])),
+                cmul(a2, m_p1[2])),
+            cmul(a3, m_p1[3]));
+        store2(amps + i, r0);
+        store2(amps + i + s2, r1);
+      }
+    }
+    return;
+  }
+
+  __m256d mm[16];
+  for (int e = 0; e < 16; ++e) mm[e] = bcast(&m[e]);
+  for (std::size_t b2 = 0; b2 < dim; b2 += 2 * s2) {
+    for (std::size_t b1 = b2; b1 < b2 + s2; b1 += 2 * s1) {
+      for (std::size_t i = b1; i < b1 + s1; i += 2) {
+        cplx* p00 = amps + i;
+        cplx* p01 = amps + i + sb;
+        cplx* p10 = amps + i + sa;
+        cplx* p11 = amps + i + sa + sb;
+        const __m256d a00 = load2(p00), a01 = load2(p01);
+        const __m256d a10 = load2(p10), a11 = load2(p11);
+        store2(p00, _mm256_add_pd(
+                        _mm256_add_pd(
+                            _mm256_add_pd(cmul(a00, mm[0]), cmul(a01, mm[1])),
+                            cmul(a10, mm[2])),
+                        cmul(a11, mm[3])));
+        store2(p01, _mm256_add_pd(
+                        _mm256_add_pd(
+                            _mm256_add_pd(cmul(a00, mm[4]), cmul(a01, mm[5])),
+                            cmul(a10, mm[6])),
+                        cmul(a11, mm[7])));
+        store2(p10, _mm256_add_pd(
+                        _mm256_add_pd(
+                            _mm256_add_pd(cmul(a00, mm[8]), cmul(a01, mm[9])),
+                            cmul(a10, mm[10])),
+                        cmul(a11, mm[11])));
+        store2(p11,
+               _mm256_add_pd(
+                   _mm256_add_pd(
+                       _mm256_add_pd(cmul(a00, mm[12]), cmul(a01, mm[13])),
+                       cmul(a10, mm[14])),
+                   cmul(a11, mm[15])));
+      }
+    }
+  }
+}
+
+void avx2_apply_diag_1q(cplx* amps, std::size_t dim, std::size_t stride,
+                        cplx d0, cplx d1) {
+  if (stride == 1) {
+    const __m256d d01 = pack2(&d0, &d1);
+    for (std::size_t base = 0; base < dim; base += 2)
+      store2(amps + base, cmul(load2(amps + base), d01));
+    return;
+  }
+  const __m256d v0 = bcast(&d0), v1 = bcast(&d1);
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; i += 2)
+      store2(amps + i, cmul(load2(amps + i), v0));
+    for (std::size_t i = base + stride; i < base + 2 * stride; i += 2)
+      store2(amps + i, cmul(load2(amps + i), v1));
+  }
+}
+
+void avx2_apply_diag_2q(cplx* amps, std::size_t dim, std::size_t sa,
+                        std::size_t sb, const cplx* d) {
+  const std::size_t s1 = std::min(sa, sb);
+  const std::size_t s2 = std::max(sa, sb);
+  if (s1 == 1) {
+    const bool b_low = (sb == 1);
+    const __m256d p0d = b_low ? pack2(&d[0], &d[1]) : pack2(&d[0], &d[2]);
+    const __m256d p1d = b_low ? pack2(&d[2], &d[3]) : pack2(&d[1], &d[3]);
+    for (std::size_t b2 = 0; b2 < dim; b2 += 2 * s2) {
+      for (std::size_t i = b2; i < b2 + s2; i += 2) {
+        store2(amps + i, cmul(load2(amps + i), p0d));
+        store2(amps + i + s2, cmul(load2(amps + i + s2), p1d));
+      }
+    }
+    return;
+  }
+  const __m256d v0 = bcast(&d[0]), v1 = bcast(&d[1]);
+  const __m256d v2 = bcast(&d[2]), v3 = bcast(&d[3]);
+  for (std::size_t b2 = 0; b2 < dim; b2 += 2 * s2) {
+    for (std::size_t b1 = b2; b1 < b2 + s2; b1 += 2 * s1) {
+      for (std::size_t i = b1; i < b1 + s1; i += 2)
+        store2(amps + i, cmul(load2(amps + i), v0));
+      for (std::size_t i = b1 + sb; i < b1 + sb + s1; i += 2)
+        store2(amps + i, cmul(load2(amps + i), v1));
+      for (std::size_t i = b1 + sa; i < b1 + sa + s1; i += 2)
+        store2(amps + i, cmul(load2(amps + i), v2));
+      for (std::size_t i = b1 + sa + sb; i < b1 + sa + sb + s1; i += 2)
+        store2(amps + i, cmul(load2(amps + i), v3));
+    }
+  }
+}
+
+void avx2_apply_pauli_y(cplx* amps, std::size_t dim, std::size_t stride) {
+  const cplx neg_i{0.0, -1.0};
+  const cplx pos_i{0.0, 1.0};
+  if (stride == 1) {
+    // out = [-i*a1, i*a0]: swap the halves, multiply by [-i | i].
+    const __m256d f = pack2(&neg_i, &pos_i);
+    for (std::size_t base = 0; base < dim; base += 2) {
+      const __m256d v = load2(amps + base);
+      store2(amps + base,
+             cmul(_mm256_permute2f128_pd(v, v, 0x01), f));
+    }
+    return;
+  }
+  const __m256d vneg = bcast(&neg_i), vpos = bcast(&pos_i);
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    for (std::size_t off = 0; off < stride; off += 2) {
+      cplx* p0 = amps + base + off;
+      cplx* p1 = p0 + stride;
+      const __m256d a0 = load2(p0);
+      const __m256d a1 = load2(p1);
+      store2(p0, cmul(a1, vneg));
+      store2(p1, cmul(a0, vpos));
+    }
+  }
+}
+
+const detail::SimdVTable kAvx2VTable = {
+    "avx2",          avx2_apply_1q,      avx2_apply_2q,
+    avx2_apply_diag_1q, avx2_apply_diag_2q, avx2_apply_pauli_y,
+};
+
+}  // namespace
+
+namespace detail {
+const SimdVTable* avx2_vtable() { return &kAvx2VTable; }
+}  // namespace detail
+
+}  // namespace qoc::sim::kernels
+
+#else  // !defined(__AVX2__)
+
+namespace qoc::sim::kernels::detail {
+const SimdVTable* avx2_vtable() { return nullptr; }
+}  // namespace qoc::sim::kernels::detail
+
+#endif

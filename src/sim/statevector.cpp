@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "qoc/sim/kernels.hpp"
+
 namespace qoc::sim {
 
 namespace {
@@ -39,18 +41,7 @@ void Statevector::apply_1q(const cplx* m, int qubit) {
   if (qubit < 0 || qubit >= n_qubits_)
     throw std::out_of_range("apply_1q: qubit index");
   const std::size_t stride = std::size_t{1} << (n_qubits_ - 1 - qubit);
-  const cplx m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
-  const std::size_t dim = amps_.size();
-  for (std::size_t base = 0; base < dim; base += 2 * stride) {
-    for (std::size_t off = 0; off < stride; ++off) {
-      const std::size_t i0 = base + off;
-      const std::size_t i1 = i0 + stride;
-      const cplx a0 = amps_[i0];
-      const cplx a1 = amps_[i1];
-      amps_[i0] = m00 * a0 + m01 * a1;
-      amps_[i1] = m10 * a0 + m11 * a1;
-    }
-  }
+  kernels::apply_1q(amps_.data(), amps_.size(), stride, m);
 }
 
 void Statevector::apply_2q(const Matrix& m, int qubit_a, int qubit_b) {
@@ -71,34 +62,14 @@ void Statevector::apply_2q(const cplx* m, int qubit_a, int qubit_b) {
 
   const std::size_t sa = std::size_t{1} << (n_qubits_ - 1 - qubit_a);
   const std::size_t sb = std::size_t{1} << (n_qubits_ - 1 - qubit_b);
-  const std::size_t dim = amps_.size();
-  const std::size_t mask = sa | sb;
-
-  cplx mm[16];
-  for (int e = 0; e < 16; ++e) mm[e] = m[e];
-
-  for (std::size_t i = 0; i < dim; ++i) {
-    if (i & mask) continue;  // visit each group once, via its 00 member
-    const std::size_t i00 = i;
-    const std::size_t i01 = i | sb;
-    const std::size_t i10 = i | sa;
-    const std::size_t i11 = i | sa | sb;
-    const cplx a00 = amps_[i00], a01 = amps_[i01], a10 = amps_[i10],
-               a11 = amps_[i11];
-    amps_[i00] = mm[0] * a00 + mm[1] * a01 + mm[2] * a10 + mm[3] * a11;
-    amps_[i01] = mm[4] * a00 + mm[5] * a01 + mm[6] * a10 + mm[7] * a11;
-    amps_[i10] = mm[8] * a00 + mm[9] * a01 + mm[10] * a10 + mm[11] * a11;
-    amps_[i11] = mm[12] * a00 + mm[13] * a01 + mm[14] * a10 + mm[15] * a11;
-  }
+  kernels::apply_2q(amps_.data(), amps_.size(), sa, sb, m);
 }
 
 void Statevector::apply_diag_1q(cplx d0, cplx d1, int qubit) {
   if (qubit < 0 || qubit >= n_qubits_)
     throw std::out_of_range("apply_diag_1q: qubit index");
   const std::size_t stride = std::size_t{1} << (n_qubits_ - 1 - qubit);
-  const std::size_t dim = amps_.size();
-  for (std::size_t i = 0; i < dim; ++i)
-    amps_[i] = ((i & stride) ? d1 : d0) * amps_[i];
+  kernels::apply_diag_1q(amps_.data(), amps_.size(), stride, d0, d1);
 }
 
 void Statevector::apply_diag_2q(cplx d00, cplx d01, cplx d10, cplx d11,
@@ -111,12 +82,7 @@ void Statevector::apply_diag_2q(cplx d00, cplx d01, cplx d10, cplx d11,
   const std::size_t sa = std::size_t{1} << (n_qubits_ - 1 - qubit_a);
   const std::size_t sb = std::size_t{1} << (n_qubits_ - 1 - qubit_b);
   const cplx d[4] = {d00, d01, d10, d11};
-  const std::size_t dim = amps_.size();
-  for (std::size_t i = 0; i < dim; ++i) {
-    const std::size_t idx =
-        (((i & sa) ? 2u : 0u) | ((i & sb) ? 1u : 0u));
-    amps_[i] = d[idx] * amps_[i];
-  }
+  kernels::apply_diag_2q(amps_.data(), amps_.size(), sa, sb, d);
 }
 
 void Statevector::apply_cx(int control, int target) {
@@ -127,9 +93,7 @@ void Statevector::apply_cx(int control, int target) {
     throw std::out_of_range("apply_cx: qubit index");
   const std::size_t sc = std::size_t{1} << (n_qubits_ - 1 - control);
   const std::size_t st = std::size_t{1} << (n_qubits_ - 1 - target);
-  const std::size_t dim = amps_.size();
-  for (std::size_t i = 0; i < dim; ++i)
-    if ((i & sc) && !(i & st)) std::swap(amps_[i], amps_[i | st]);
+  kernels::apply_cx(amps_.data(), amps_.size(), sc, st);
 }
 
 void Statevector::apply_cz(int qubit_a, int qubit_b) {
@@ -140,10 +104,7 @@ void Statevector::apply_cz(int qubit_a, int qubit_b) {
     throw std::out_of_range("apply_cz: qubit index");
   const std::size_t sa = std::size_t{1} << (n_qubits_ - 1 - qubit_a);
   const std::size_t sb = std::size_t{1} << (n_qubits_ - 1 - qubit_b);
-  const std::size_t both = sa | sb;
-  const std::size_t dim = amps_.size();
-  for (std::size_t i = 0; i < dim; ++i)
-    if ((i & both) == both) amps_[i] = -amps_[i];
+  kernels::apply_cz(amps_.data(), amps_.size(), sa, sb);
 }
 
 void Statevector::apply_swap(int qubit_a, int qubit_b) {
@@ -154,9 +115,7 @@ void Statevector::apply_swap(int qubit_a, int qubit_b) {
     throw std::out_of_range("apply_swap: qubit index");
   const std::size_t sa = std::size_t{1} << (n_qubits_ - 1 - qubit_a);
   const std::size_t sb = std::size_t{1} << (n_qubits_ - 1 - qubit_b);
-  const std::size_t dim = amps_.size();
-  for (std::size_t i = 0; i < dim; ++i)
-    if ((i & sa) && !(i & sb)) std::swap(amps_[i], amps_[(i ^ sa) | sb]);
+  kernels::apply_swap(amps_.data(), amps_.size(), sa, sb);
 }
 
 void Statevector::apply_matrix(const Matrix& m, const std::vector<int>& qubits) {
@@ -216,33 +175,17 @@ void Statevector::apply_matrix(const Matrix& m, const std::vector<int>& qubits) 
 
 void Statevector::apply_pauli_x(int qubit) {
   const std::size_t stride = std::size_t{1} << (n_qubits_ - 1 - qubit);
-  const std::size_t dim = amps_.size();
-  for (std::size_t base = 0; base < dim; base += 2 * stride)
-    for (std::size_t off = 0; off < stride; ++off)
-      std::swap(amps_[base + off], amps_[base + off + stride]);
+  kernels::apply_pauli_x(amps_.data(), amps_.size(), stride);
 }
 
 void Statevector::apply_pauli_y(int qubit) {
   const std::size_t stride = std::size_t{1} << (n_qubits_ - 1 - qubit);
-  const std::size_t dim = amps_.size();
-  const cplx i{0.0, 1.0};
-  for (std::size_t base = 0; base < dim; base += 2 * stride)
-    for (std::size_t off = 0; off < stride; ++off) {
-      const std::size_t i0 = base + off;
-      const std::size_t i1 = i0 + stride;
-      const cplx a0 = amps_[i0];
-      const cplx a1 = amps_[i1];
-      amps_[i0] = -i * a1;
-      amps_[i1] = i * a0;
-    }
+  kernels::apply_pauli_y(amps_.data(), amps_.size(), stride);
 }
 
 void Statevector::apply_pauli_z(int qubit) {
   const std::size_t stride = std::size_t{1} << (n_qubits_ - 1 - qubit);
-  const std::size_t dim = amps_.size();
-  for (std::size_t base = stride; base < dim; base += 2 * stride)
-    for (std::size_t off = 0; off < stride; ++off)
-      amps_[base + off] = -amps_[base + off];
+  kernels::apply_pauli_z(amps_.data(), amps_.size(), stride);
 }
 
 double Statevector::expectation_z(int qubit) const {

@@ -6,16 +6,12 @@ namespace qoc::transpile {
 
 using circuit::GateKind;
 
-namespace {
-
 bool rz_angle_is_zero(double a) {
   const double two_pi = 2.0 * linalg::kPi;
   double m = std::fmod(a, two_pi);
   if (m < 0) m += two_pi;
   return m < 1e-12 || two_pi - m < 1e-12;
 }
-
-}  // namespace
 
 std::vector<BoundOp> merge_rz(const std::vector<BoundOp>& ops) {
   std::vector<BoundOp> out;

@@ -66,12 +66,9 @@ EulerZYZ zyz_decompose(const Matrix& u) {
 
 namespace {
 
-bool angle_is_zero(double a) {
-  const double two_pi = 2.0 * kPi;
-  double m = std::fmod(a, two_pi);
-  if (m < 0) m += two_pi;
-  return m < 1e-12 || two_pi - m < 1e-12;
-}
+// The canonical zero test shared with merge_rz and the RoutedProgram
+// replay (see optimize.hpp).
+bool angle_is_zero(double a) { return rz_angle_is_zero(a); }
 
 void emit_rz(std::vector<BoundOp>& out, int q, double angle) {
   if (!angle_is_zero(angle)) out.push_back({GateKind::Rz, {q}, angle});

@@ -10,6 +10,7 @@
 #include "qoc/common/prng.hpp"
 #include "qoc/sim/gates.hpp"
 #include "qoc/sim/statevector.hpp"
+#include "qoc/transpile/lowered_cache.hpp"
 #include "qoc/transpile/transpile.hpp"
 
 namespace {
@@ -261,6 +262,140 @@ TEST(FullTranspile, DurationPositiveAndScalesWithDepth) {
   const auto b = transpile(big, tb, {}, device);
   EXPECT_GT(estimated_duration_s(a, device), 0.0);
   EXPECT_GT(estimated_duration_s(b, device), estimated_duration_s(a, device));
+}
+
+// ---- RoutedProgram: the zero-angle-pattern lowered-stream cache ------------
+
+/// Bitwise equality of two transpiled streams (ops, layout, stats).
+void expect_transpiled_equal(const Transpiled& a, const Transpiled& b) {
+  EXPECT_EQ(a.final_layout, b.final_layout);
+  EXPECT_EQ(a.n_swaps_inserted, b.n_swaps_inserted);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].kind, b.ops[i].kind) << "op " << i;
+    EXPECT_EQ(a.ops[i].qubits, b.ops[i].qubits) << "op " << i;
+    EXPECT_EQ(a.ops[i].angle, b.ops[i].angle) << "op " << i;
+  }
+  EXPECT_EQ(a.stats.n_rz, b.stats.n_rz);
+  EXPECT_EQ(a.stats.n_sx, b.stats.n_sx);
+  EXPECT_EQ(a.stats.n_x, b.stats.n_x);
+  EXPECT_EQ(a.stats.n_cx, b.stats.n_cx);
+  EXPECT_EQ(a.stats.n_other, b.stats.n_other);
+  EXPECT_EQ(a.stats.depth, b.stats.depth);
+}
+
+/// Source angles exactly as the cached path receives them.
+std::vector<double> source_angles_of(const Circuit& c,
+                                     const std::vector<double>& theta) {
+  std::vector<double> out;
+  for (const auto& bop : bind_circuit(c, theta, {})) out.push_back(bop.angle);
+  return out;
+}
+
+/// Representative mix: every lowering recipe class (affine RZ family,
+/// ZYZ rotations incl. scaled Cry, fixed-gate conjugations, routed
+/// SWAPs from the non-adjacent pair on a line device).
+Circuit lowering_mix_circuit() {
+  Circuit c(4);
+  c.h(0);
+  c.rx(1, ParamRef::trainable(0));
+  c.ry(2, ParamRef::trainable(1));
+  c.rz(3, ParamRef::trainable(2));
+  c.rzz(0, 1, ParamRef::trainable(3));
+  c.cry(1, 2, ParamRef::trainable(4));
+  c.crz(2, 3, ParamRef::trainable(5));
+  c.cp(0, 3, ParamRef::trainable(6));  // non-adjacent on manila: SWAPs
+  c.cz(1, 3);
+  c.swap(0, 2);
+  c.ryy(2, 3, ParamRef::trainable(7));
+  return c;
+}
+
+TEST(RoutedProgram, BitIdenticalToFullPipelineAcrossBindings) {
+  const Circuit c = lowering_mix_circuit();
+  const auto device = DeviceModel::ibmq_manila();
+  const RoutedProgram prog(route_template(c, device), device.n_qubits);
+
+  Prng rng(77);
+  std::vector<std::vector<double>> bindings;
+  for (int k = 0; k < 4; ++k) {
+    std::vector<double> theta(8);
+    for (auto& v : theta) v = rng.uniform(-3, 3);
+    // Prune a few parameters to exercise distinct zero patterns.
+    if (k >= 1) theta[1] = 0.0;
+    if (k >= 2) theta[3] = theta[6] = 0.0;
+    bindings.push_back(std::move(theta));
+  }
+  // Revisit every pattern with fresh values: those calls are cache HITS
+  // and must still match the uncached pipeline bit-for-bit.
+  for (int round = 0; round < 2; ++round) {
+    for (auto theta : bindings) {
+      for (auto& v : theta)
+        if (v != 0.0) v += 0.1 * round;
+      const auto expected = transpile(c, theta, {}, device);
+      const auto got = prog.transpile(source_angles_of(c, theta));
+      expect_transpiled_equal(got, expected);
+    }
+  }
+  EXPECT_EQ(prog.cached_patterns(), 3u);  // k=0; k=1; k=2,3 share
+}
+
+TEST(RoutedProgram, DecisionFlipFallsBackToFreshTrace) {
+  // rz(theta0) and an adjacent constant rz(-0.7) merge; for theta0 = 0.7
+  // the merged rotation is zero and the pair (plus the then-cancellable
+  // CX pair around it) vanishes structurally. A binding with the SAME
+  // zero-angle pattern but a different value must not inherit that
+  // structure: the replay detects the flipped decision and re-traces.
+  Circuit c(2);
+  c.rz(0, ParamRef::trainable(0));
+  c.rz(0, ParamRef::constant(-0.7));
+  c.cx(0, 1);
+  c.ry(1, ParamRef::trainable(1));
+  const auto device = DeviceModel::ibmq_manila();
+
+  for (const bool cancel_first : {true, false}) {
+    const RoutedProgram prog(route_template(c, device), device.n_qubits);
+    const std::vector<double> cancelling = {0.7, 0.4};
+    const std::vector<double> generic = {0.5, 0.4};  // same zero pattern
+    const auto& first = cancel_first ? cancelling : generic;
+    const auto& second = cancel_first ? generic : cancelling;
+    for (const auto* theta : {&first, &second}) {
+      const auto expected = transpile(c, *theta, {}, device);
+      const auto got = prog.transpile(source_angles_of(c, *theta));
+      expect_transpiled_equal(got, expected);
+    }
+    // The two bindings disagree on the merged-RZ structure: the cached
+    // plan serves the first, the second falls back.
+    const auto a = transpile(c, cancelling, {}, device);
+    const auto b = transpile(c, generic, {}, device);
+    EXPECT_NE(a.ops.size(), b.ops.size());
+  }
+}
+
+TEST(RoutedProgram, MatchesTemplatePathOnTaskScaleCircuit) {
+  // A full hardware-efficient stack through routing with SWAP insertion:
+  // cached path vs transpile_with_angles vs full transpile, all three
+  // bitwise identical per binding.
+  Circuit c(4);
+  qoc::circuit::add_ry_layer(c);
+  qoc::circuit::add_rz_layer(c);
+  qoc::circuit::add_rzz_ring_layer(c);
+  qoc::circuit::add_ry_layer(c);
+  const auto device = DeviceModel::ibmq_santiago();
+  const auto tmpl = route_template(c, device);
+  const RoutedProgram prog(route_template(c, device), device.n_qubits);
+
+  Prng rng(5);
+  for (int k = 0; k < 3; ++k) {
+    std::vector<double> theta(static_cast<std::size_t>(c.num_trainable()));
+    for (auto& v : theta) v = rng.uniform(-3, 3);
+    const auto angles = source_angles_of(c, theta);
+    const auto full = transpile(c, theta, {}, device);
+    const auto via_template = transpile_with_angles(tmpl, angles, device);
+    const auto via_cache = prog.transpile(angles);
+    expect_transpiled_equal(via_template, full);
+    expect_transpiled_equal(via_cache, full);
+  }
 }
 
 TEST(Stats, CountsByKind) {
