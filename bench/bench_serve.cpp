@@ -1,0 +1,203 @@
+// Serving-layer benchmark: multi-client throughput and latency of
+// qoc::serve's coalesced execution vs the naive one-run()-per-request
+// baseline (every client thread owning its own blocking call into a
+// shared backend).
+//
+// Workload: an n = 10 qubit QNN-shaped circuit (rotation encoder +
+// 2 x (RZZ ring + RY layer), 50 ops) on the exact statevector backend.
+// Three traffic shapes:
+//   * NaiveRunPerRequest  -- each client thread calls backend.run(...)
+//     once per request (the pre-serve architecture: per-request plan
+//     cache probe, per-request statevector, all clients contending).
+//   * ServeCoalesced      -- each client keeps a window of kWindow
+//     requests in flight through ServeSession::submit and drains the
+//     futures; every binding unique, so every job executes (pure
+//     coalescing win: batched drains, reused scratch, no per-request
+//     backend contention).
+//   * ServeHotSet         -- same submission pattern, but clients query
+//     a shared catalog of popular bindings (the
+//     millions-of-users-few-models traffic shape); the deterministic
+//     result cache serves repeats without touching the backend.
+//
+// items_per_second counts served requests, so the serve/naive ratio at
+// equal thread counts is the coalescing speedup. The serve lines also
+// export batch occupancy and p50/p99 latency from the service metrics.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "qoc/backend/backend.hpp"
+#include "qoc/circuit/circuit.hpp"
+#include "qoc/circuit/layers.hpp"
+#include "qoc/serve/serve.hpp"
+
+namespace {
+
+using namespace qoc;
+
+constexpr int kQubits = 10;
+constexpr int kLayers = 2;
+constexpr std::size_t kWindow = 32;  // in-flight requests per client
+
+circuit::Circuit make_qnn10() {
+  circuit::Circuit c(kQubits);
+  circuit::add_rotation_encoder(c, kQubits);
+  for (int l = 0; l < kLayers; ++l) {
+    circuit::add_rzz_ring_layer(c);
+    circuit::add_ry_layer(c);
+  }
+  return c;
+}
+
+std::vector<double> base_theta(const circuit::Circuit& c) {
+  std::vector<double> v(static_cast<std::size_t>(c.num_trainable()));
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = 0.1 * static_cast<double>(i % 7) - 0.3;
+  return v;
+}
+
+std::vector<double> base_input(const circuit::Circuit& c) {
+  std::vector<double> v(static_cast<std::size_t>(c.num_inputs()));
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = 0.05 * static_cast<double>(i) + 0.1;
+  return v;
+}
+
+/// Unique binding per (thread, request serial): every request differs,
+/// nothing is cacheable.
+void unique_binding(std::vector<double>& theta, int thread,
+                    std::uint64_t serial) {
+  theta[0] = 1e-4 * static_cast<double>(serial) +
+             0.13 * static_cast<double>(thread);
+}
+
+/// Shared hot catalog: every request hits one of kHotSet popular
+/// bindings, identical across threads.
+constexpr std::uint64_t kHotSet = 64;
+void hot_binding(std::vector<double>& theta, std::uint64_t serial) {
+  theta[0] = 1e-3 * static_cast<double>(serial % kHotSet);
+}
+
+struct ServeRig {
+  circuit::Circuit qnn = make_qnn10();
+  backend::StatevectorBackend backend{0};
+  serve::ServeSession session;
+  serve::CircuitHandle handle;
+
+  explicit ServeRig(serve::ServeOptions opt)
+      : session(backend, opt), handle(session.register_circuit(qnn)) {}
+};
+
+serve::ServeOptions serve_opts(std::size_t cache_capacity) {
+  serve::ServeOptions opt;
+  opt.max_batch = 256;
+  opt.max_delay = std::chrono::microseconds(200);
+  opt.result_cache_capacity = cache_capacity;
+  return opt;
+}
+
+/// One rig per (cache capacity, thread count) so each benchmark line's
+/// session-lifetime metrics (occupancy, latency window) describe only
+/// its own configuration instead of accumulating across lines.
+ServeRig& rig_for(std::size_t cache_capacity, int threads) {
+  static std::mutex mutex;
+  static std::map<std::pair<std::size_t, int>, std::unique_ptr<ServeRig>>
+      rigs;
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = rigs[{cache_capacity, threads}];
+  if (!slot) slot = std::make_unique<ServeRig>(serve_opts(cache_capacity));
+  return *slot;
+}
+
+void export_serve_counters(benchmark::State& state,
+                           const serve::ServeSession& session) {
+  if (state.thread_index() != 0) return;
+  const auto m = session.metrics();
+  state.counters["batch_occupancy"] = m.mean_batch_occupancy;
+  state.counters["p50_us"] = m.p50_latency_us;
+  state.counters["p99_us"] = m.p99_latency_us;
+  state.counters["cache_hit_pct"] =
+      m.submitted ? 100.0 * static_cast<double>(m.cache_hits) /
+                        static_cast<double>(m.submitted)
+                  : 0.0;
+}
+
+/// Baseline: the pre-serve architecture. Shared state across client
+/// threads is just the backend; each request is one blocking run().
+void BM_NaiveRunPerRequest(benchmark::State& state) {
+  static circuit::Circuit qnn = make_qnn10();
+  static backend::StatevectorBackend backend(0);
+  std::vector<double> theta = base_theta(qnn);
+  const std::vector<double> input = base_input(qnn);
+  std::uint64_t serial = 0;
+  for (auto _ : state) {
+    for (std::size_t w = 0; w < kWindow; ++w) {
+      unique_binding(theta, state.thread_index(), serial++);
+      benchmark::DoNotOptimize(backend.run(qnn, theta, input));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kWindow));
+}
+BENCHMARK(BM_NaiveRunPerRequest)->Threads(1)->Threads(8)->UseRealTime();
+
+/// Same per-request traffic shape as the baseline, but each client also
+/// pays the naive architecture's per-request latency coupling: kWindow
+/// requests submitted asynchronously, then drained.
+void BM_ServeCoalesced(benchmark::State& state) {
+  auto& rig = rig_for(0, state.threads());
+  auto client = rig.session.client();
+  std::vector<double> theta = base_theta(rig.qnn);
+  const std::vector<double> input = base_input(rig.qnn);
+  std::vector<std::future<std::vector<double>>> futures;
+  futures.reserve(kWindow);
+  std::uint64_t serial = 0;
+  for (auto _ : state) {
+    futures.clear();
+    for (std::size_t w = 0; w < kWindow; ++w) {
+      unique_binding(theta, state.thread_index(), serial++);
+      futures.push_back(client.submit(rig.handle, theta, input));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kWindow));
+  export_serve_counters(state, rig.session);
+}
+BENCHMARK(BM_ServeCoalesced)->Threads(1)->Threads(8)->UseRealTime();
+
+/// Millions-of-users traffic: clients query a shared catalog of popular
+/// bindings; the deterministic result cache absorbs repeats.
+void BM_ServeHotSet(benchmark::State& state) {
+  auto& rig = rig_for(4096, state.threads());
+  auto client = rig.session.client();
+  std::vector<double> theta = base_theta(rig.qnn);
+  const std::vector<double> input = base_input(rig.qnn);
+  std::vector<std::future<std::vector<double>>> futures;
+  futures.reserve(kWindow);
+  std::uint64_t serial = 0;
+  for (auto _ : state) {
+    futures.clear();
+    for (std::size_t w = 0; w < kWindow; ++w) {
+      hot_binding(theta, serial++);
+      futures.push_back(client.submit(rig.handle, theta, input));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kWindow));
+  export_serve_counters(state, rig.session);
+}
+BENCHMARK(BM_ServeHotSet)->Threads(8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -57,7 +57,7 @@ class Backend {
   std::vector<double> run(const circuit::Circuit& c,
                           std::span<const double> theta,
                           std::span<const double> input) {
-    inferences_.fetch_add(1, std::memory_order_relaxed);
+    add_inferences(1);
     return execute(c, theta, input);
   }
 
@@ -65,7 +65,7 @@ class Backend {
   std::vector<double> run(const exec::CompiledCircuit& plan,
                           std::span<const double> theta,
                           std::span<const double> input) {
-    inferences_.fetch_add(1, std::memory_order_relaxed);
+    add_inferences(1);
     return execute_single(plan, theta, input);
   }
 
@@ -81,11 +81,20 @@ class Backend {
   /// per evaluation *in submission order* before any worker starts,
   /// and each evaluation consumes only its own stream sequentially —
   /// so scheduling order can never reorder draws.
+  ///
+  /// An evaluation may instead pin its stream explicitly via
+  /// Evaluation::rng_stream, making its draws a pure function of
+  /// (backend seed, stream id) -- independent of batch composition,
+  /// position and the backend's internal serial state. The bundled
+  /// stochastic backends derive the stream as
+  /// Prng(seed + 0x9E3779B97F4A7C15 * (stream_id + 1)); qoc::serve
+  /// relies on this to coalesce jobs from many clients into arbitrary
+  /// batches without changing any job's outcome.
   /// Each evaluation counts as one inference.
   std::vector<std::vector<double>> run_batch(
       const exec::CompiledCircuit& plan,
       std::span<const exec::Evaluation> evals, unsigned threads = 1) {
-    inferences_.fetch_add(evals.size(), std::memory_order_relaxed);
+    add_inferences(evals.size());
     return execute_batch(plan, evals, threads);
   }
 
@@ -114,8 +123,25 @@ class Backend {
 
   virtual std::string name() const = 0;
 
+  /// True when this backend's results are a pure function of the
+  /// submitted bindings: no shot sampling, no noise trajectories, no
+  /// internal RNG state. Consumers may memoise results keyed on
+  /// bindings (qoc::serve's result cache does) only when this holds.
+  virtual bool deterministic() const { return false; }
+
   /// Total number of circuit executions since construction / last reset.
   /// This is the "#Inference" axis of Figure 6.
+  ///
+  /// Accounting contract: every executed evaluation counts exactly
+  /// once, through the single add_inferences() path, no matter which
+  /// entry point submitted it -- run(), a run_batch() of any size, or a
+  /// serve-coalesced batch. The run paths count at the public wrapper
+  /// (one per evaluation); the expect paths count inside the backend
+  /// implementation because the cost is backend-dependent (one per
+  /// *measured execution*: evals x commuting groups when sampling,
+  /// evals when a single execution yields every term analytically).
+  /// Cache hits that never execute (plan caches, serve's result cache)
+  /// are not inferences and must not count.
   std::uint64_t inference_count() const {
     return inferences_.load(std::memory_order_relaxed);
   }
@@ -187,6 +213,8 @@ class StatevectorBackend final : public Backend {
                               std::uint64_t seed = 0x51A7E7EC7ULL);
 
   std::string name() const override { return "statevector"; }
+  /// Exact mode (shots == 0) is a pure function of the bindings.
+  bool deterministic() const override { return shots_ == 0; }
   int shots() const { return shots_; }
 
  protected:
@@ -202,7 +230,16 @@ class StatevectorBackend final : public Backend {
       std::span<const exec::Evaluation> evals, unsigned threads) override;
 
  private:
+  /// Stream for an evaluation that pinned Evaluation::rng_stream: pure
+  /// function of (constructor seed, stream id), same derivation as
+  /// NoisyBackend::execution_rng. Auto evaluations instead split from
+  /// the shared rng_ in submission order (the legacy behaviour).
+  Prng stream_rng(std::uint64_t stream) const {
+    return Prng(seed_ + 0x9E3779B97F4A7C15ULL * (stream + 1));
+  }
+
   int shots_;
+  std::uint64_t seed_;
   Prng rng_;
   std::mutex rng_mutex_;  // sampled mode only; exact mode never locks
 };
@@ -274,6 +311,8 @@ class DensityMatrixBackend final : public Backend {
   DensityMatrixBackend(noise::DeviceModel device, Options options);
 
   std::string name() const override { return "density:" + device_.name; }
+  /// Exact channel evolution: no sampling anywhere.
+  bool deterministic() const override { return true; }
   const noise::DeviceModel& device() const { return device_; }
 
  protected:
@@ -338,7 +377,10 @@ class NoisyBackend final : public Backend {
   /// it so concurrent executions do not interleave draws. Shared by the
   /// run and expect paths -- their serials come from the same
   /// run_serial_ counter, which is what keeps batched results
-  /// deterministic in submission order.
+  /// deterministic in submission order. Evaluations that pin
+  /// Evaluation::rng_stream pass the pinned id through this same map,
+  /// so a streamed result is reproducible on any NoisyBackend with the
+  /// same device, options and seed.
   Prng execution_rng(std::uint64_t serial) const {
     return Prng(options_.seed + 0x9E3779B97F4A7C15ULL * (serial + 1));
   }

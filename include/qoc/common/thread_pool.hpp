@@ -34,6 +34,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <memory>
@@ -44,11 +45,30 @@
 
 namespace qoc {
 
-/// Number of worker threads to use by default (>= 1). Cached: the
-/// underlying sysconf costs ~a microsecond per query, which is visible
-/// on every max_threads == 0 dispatch of a small batch.
+/// Parse a thread-count override string ("8"); returns 0 when the value
+/// is missing, non-numeric, non-positive or absurd (> 4096 -- including
+/// strtol overflow saturation), i.e. no override: a garbage QOC_THREADS
+/// must never size a pool with billions of workers. Split out of
+/// hardware_threads() so the parsing rules are testable without
+/// mutating the process environment.
+inline unsigned parse_thread_count(const char* s) {
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v <= 0 || v > 4096) return 0;
+  return static_cast<unsigned>(v);
+}
+
+/// Number of worker threads to use by default (>= 1). The QOC_THREADS
+/// environment variable overrides the detected core count -- container
+/// deployments often expose more hardware threads than the cgroup CPU
+/// quota actually grants, and this is the one knob that sizes the global
+/// pool. Cached: the underlying sysconf costs ~a microsecond per query,
+/// which is visible on every max_threads == 0 dispatch of a small batch.
 inline unsigned hardware_threads() {
   static const unsigned n = [] {
+    if (const unsigned env = parse_thread_count(std::getenv("QOC_THREADS")))
+      return env;
     const unsigned v = std::thread::hardware_concurrency();
     return v == 0 ? 1u : v;
   }();
@@ -67,6 +87,21 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Lightweight occupancy snapshot. `pending_tickets` counts help
+  /// requests that are queued but not yet claimed by a worker -- a
+  /// non-zero value means every worker is already busy and additional
+  /// fan-out would only queue. Consumers (e.g. the qoc::serve batch
+  /// coalescer's drain policy) use it to size their own concurrency
+  /// requests; it is advisory and may be stale by the time it is read.
+  struct Stats {
+    unsigned workers = 0;
+    std::size_t pending_tickets = 0;
+  };
+  Stats stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return {size(), tickets_.size()};
+  }
 
   /// Process-wide shared pool (hardware_threads() workers, created on
   /// first use). All qoc parallel execution funnels through this one
@@ -133,7 +168,7 @@ class ThreadPool {
   static void help(Job& job);  // claim and execute chunks until drained
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::shared_ptr<Job>> tickets_;  // pending help requests
   bool stop_ = false;

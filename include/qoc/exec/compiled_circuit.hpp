@@ -92,13 +92,28 @@ struct AngleSlot {
 /// One circuit execution request for Backend::run_batch. `shift_op`
 /// optionally offsets the angle of a single source-circuit op by `shift`
 /// (the +-pi/2 of the parameter-shift rule) without rebuilding anything.
+///
+/// `rng_stream` pins the PRNG stream a *stochastic* backend uses for
+/// this evaluation. The default (kAutoStream) keeps the legacy
+/// behaviour: the backend assigns streams in submission order within
+/// the batch. An explicit stream makes the evaluation's random draws a
+/// pure function of (backend seed, stream id) -- independent of batch
+/// composition and position -- which is what lets the qoc::serve
+/// coalescer regroup jobs from many clients into arbitrary batches
+/// without changing any job's outcome. Exact backends ignore it.
+/// Callers that mix explicit streams with auto evaluations against the
+/// same backend should draw explicit ids from a space disjoint from
+/// small integers (serve sets the top bit) so they cannot collide with
+/// the backend's internal serial counter.
 struct Evaluation {
   static constexpr std::size_t kNoShift = static_cast<std::size_t>(-1);
+  static constexpr std::uint64_t kAutoStream = static_cast<std::uint64_t>(-1);
 
   std::span<const double> theta;
   std::span<const double> input;
   std::size_t shift_op = kNoShift;
   double shift = 0.0;
+  std::uint64_t rng_stream = kAutoStream;
 };
 
 /// Canonical structural signature of a circuit: gate kinds, operand

@@ -1,0 +1,270 @@
+#pragma once
+// qoc::serve -- in-process asynchronous execution service with
+// cross-client batch coalescing.
+//
+// PRs 1-3 built a fast single-caller substrate: compile a circuit once
+// (exec::CompiledCircuit), then amortise structure work across large
+// run_batch / expect_batch calls. But inference traffic does not arrive
+// as large batches from one caller -- it arrives as many small
+// independent requests from many concurrent clients, each of which
+// would otherwise own a backend and block on its own tiny batch. serve
+// is the missing front end that turns that traffic shape into the one
+// the substrate is good at:
+//
+//   * ServeSession owns one Backend and one dispatcher thread. Clients
+//     submit jobs non-blockingly and get std::futures back.
+//   * A circuit registry hands out ref-counted compile-once handles:
+//     register a model once, submit only bindings afterwards.
+//   * The batch coalescer groups queued jobs by compiled-circuit
+//     structure (and observable, for expectation jobs) and drains each
+//     group through ONE run_batch / expect_batch call per tick, under a
+//     max-batch / max-delay (deadline) policy. Within a group, jobs are
+//     taken round-robin across clients, so one chatty client cannot
+//     starve the rest of a full batch.
+//   * A bounded LRU result cache keyed on (structure, observable,
+//     bitwise bindings) serves repeat requests without touching the
+//     backend -- enabled only when the backend reports deterministic()
+//     (exact statevector, density matrix), since memoising sampled
+//     results would silently change their statistics.
+//   * Service metrics (queue depth, batch occupancy, flush causes,
+//     p50/p99 latency, throughput) are exposed as a plain struct.
+//
+// Determinism contract: a served result is bit-identical to the same
+// evaluation submitted directly to the backend, and independent of how
+// the coalescer happened to group it. Exact backends are pure functions
+// of the bindings, so this is automatic. Stochastic backends draw from
+// a PRNG stream pinned AT SUBMISSION via Evaluation::rng_stream =
+// client_stream(client id, per-client sequence number) -- a pure
+// function of who submitted and their submission count, never of batch
+// composition, arrival interleaving or thread scheduling. Direct
+// run_batch calls carrying the same explicit streams reproduce served
+// results bit-for-bit (tests/test_serve.cpp asserts both properties).
+//
+// Inference accounting: every job that reaches the backend counts
+// exactly once through the normal run_batch / expect_batch accounting
+// (see Backend::inference_count). Result-cache hits never execute and
+// therefore never count.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "qoc/backend/backend.hpp"
+#include "qoc/circuit/circuit.hpp"
+#include "qoc/exec/compiled_circuit.hpp"
+#include "qoc/exec/observable.hpp"
+
+namespace qoc::serve {
+
+class ServeSession;
+
+namespace detail {
+struct CircuitEntry;
+struct ObservableEntry;
+struct SessionState;
+}  // namespace detail
+
+/// Coalescing and caching policy of a ServeSession.
+struct ServeOptions {
+  /// A structure group is drained as soon as it holds this many jobs.
+  std::size_t max_batch = 256;
+  /// ... or as soon as its oldest job has waited this long (deadline
+  /// flush). The knee of the latency/throughput trade: larger values
+  /// coalesce more under sparse traffic but add tail latency.
+  std::chrono::microseconds max_delay{200};
+  /// Worker threads per drain call (passed to run_batch / expect_batch
+  /// after capping at what the shared pool can actually supply);
+  /// 0 = one per hardware core.
+  unsigned exec_threads = 0;
+  /// Result-cache capacity in entries; 0 disables the cache. The cache
+  /// only ever activates when the backend reports deterministic().
+  std::size_t result_cache_capacity = 0;
+};
+
+/// Point-in-time service counters. Latency percentiles are computed
+/// over a sliding window of the most recent completions (cache hits
+/// included -- they are served requests too).
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;        // jobs accepted (incl. cache hits)
+  std::uint64_t completed = 0;        // futures fulfilled with a value
+  std::uint64_t failed = 0;           // futures fulfilled with an exception
+  std::uint64_t cache_hits = 0;       // served without touching the backend
+  std::uint64_t batches = 0;          // backend drain calls issued
+  std::uint64_t coalesced_jobs = 0;   // jobs drained through those calls
+  std::uint64_t size_flushes = 0;     // drains triggered by max_batch
+  std::uint64_t deadline_flushes = 0; // drains triggered by max_delay
+  std::size_t queue_depth = 0;        // jobs queued right now
+  std::size_t peak_queue_depth = 0;
+  double mean_batch_occupancy = 0.0;  // coalesced_jobs / batches
+  double p50_latency_us = 0.0;        // submit -> future fulfilled
+  double p99_latency_us = 0.0;
+  double throughput_per_s = 0.0;      // completed / session lifetime
+  unsigned pool_workers = 0;          // common::ThreadPool::global() view
+  std::size_t pool_pending = 0;       //   at snapshot time
+};
+
+/// Ref-counted handle to a circuit compiled once inside a session's
+/// registry. Copying shares the compiled plan; the registry drops its
+/// (weak) reference when the last handle dies. Handles are only valid
+/// for submission to the session that created them.
+class CircuitHandle {
+ public:
+  CircuitHandle() = default;
+  bool valid() const { return entry_ != nullptr; }
+  const exec::CompiledCircuit& plan() const;
+  /// Session-unique structure id (also the coalescing/cache key).
+  std::uint64_t id() const;
+
+ private:
+  friend class ServeSession;
+  explicit CircuitHandle(std::shared_ptr<const detail::CircuitEntry> e)
+      : entry_(std::move(e)) {}
+  std::shared_ptr<const detail::CircuitEntry> entry_;
+};
+
+/// Ref-counted handle to a registered observable (for expectation
+/// jobs), tied to its session exactly like CircuitHandle.
+class ObservableHandle {
+ public:
+  ObservableHandle() = default;
+  bool valid() const { return entry_ != nullptr; }
+  const exec::CompiledObservable& observable() const;
+  std::uint64_t id() const;
+
+ private:
+  friend class ServeSession;
+  explicit ObservableHandle(std::shared_ptr<const detail::ObservableEntry> e)
+      : entry_(std::move(e)) {}
+  std::shared_ptr<const detail::ObservableEntry> entry_;
+};
+
+/// One client's submission endpoint. Move-only: each Client owns a
+/// private submission sequence whose (client id, sequence) pairs pin
+/// the PRNG streams of its stochastic jobs, so duplicating a Client
+/// would duplicate streams. A Client may be driven by one thread at a
+/// time (the usual one-client-per-thread pattern); distinct Clients are
+/// safe to use concurrently. Clients must not outlive their session.
+class Client {
+ public:
+  Client() = default;
+  // Moves detach the source (it reverts to the default-constructed,
+  // throwing state): a defaulted move would leave a live duplicate
+  // endpoint whose submissions reuse the same (client id, sequence)
+  // stream pins.
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept {
+    if (this == &other) return *this;
+    session_ = other.session_;
+    id_ = other.id_;
+    seq_ = other.seq_;
+    other.session_ = nullptr;
+    other.id_ = 0;
+    other.seq_ = 0;
+    return *this;
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  std::uint32_t id() const { return id_; }
+
+  /// Enqueue one circuit evaluation; the future resolves to <Z_q> per
+  /// logical qubit once a coalesced batch containing the job has run
+  /// (or immediately, on a result-cache hit). Bindings are copied, so
+  /// the caller's buffers may be reused as soon as submit returns.
+  /// Throws std::invalid_argument on a foreign/invalid handle or
+  /// too-short bindings, std::runtime_error after shutdown.
+  std::future<std::vector<double>> submit(const CircuitHandle& circuit,
+                                          std::span<const double> theta,
+                                          std::span<const double> input = {});
+
+  /// Enqueue one Hamiltonian-expectation evaluation (<H> of the bound
+  /// ansatz state); drained through Backend::expect_batch.
+  std::future<double> submit_expect(const CircuitHandle& circuit,
+                                    const ObservableHandle& observable,
+                                    std::span<const double> theta,
+                                    std::span<const double> input = {});
+
+ private:
+  friend class ServeSession;
+  Client(ServeSession* session, std::uint32_t id)
+      : session_(session), id_(id) {}
+  ServeSession* session_ = nullptr;
+  std::uint32_t id_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+class ServeSession {
+ public:
+  /// The backend must outlive the session. The session's dispatcher
+  /// thread starts immediately.
+  explicit ServeSession(backend::Backend& backend, ServeOptions options = {});
+
+  /// Drains every queued job (fulfilling all futures), then joins the
+  /// dispatcher. Equivalent to shutdown().
+  ~ServeSession();
+
+  ServeSession(const ServeSession&) = delete;
+  ServeSession& operator=(const ServeSession&) = delete;
+
+  /// Compile-or-reuse: structurally identical circuits (same gates,
+  /// operands, parameter bindings and compile options) share one plan,
+  /// however many clients register them.
+  CircuitHandle register_circuit(const circuit::Circuit& c,
+                                 exec::CompileOptions options = {});
+
+  /// Register an observable for submit_expect jobs.
+  ObservableHandle register_observable(exec::CompiledObservable observable);
+
+  /// Mint a new client endpoint. Client ids are assigned in call order,
+  /// so creating clients in a fixed order makes every stochastic stream
+  /// assignment reproducible across runs.
+  Client client();
+
+  /// Stop accepting submissions, run every queued job to completion
+  /// (deadlines are ignored; remaining groups drain immediately), and
+  /// join the dispatcher. Idempotent. Futures already handed out stay
+  /// valid after the session is destroyed.
+  void shutdown();
+
+  MetricsSnapshot metrics() const;
+
+  const ServeOptions& options() const { return options_; }
+  backend::Backend& backend() { return backend_; }
+
+  /// The PRNG stream id pinned to client `client`'s `seq`-th job (top
+  /// bit set, keeping the space disjoint from backend-internal auto
+  /// serials). Tests use this to reproduce served stochastic results
+  /// through direct run_batch calls. Layout: 23 bits of client id, 40
+  /// bits of sequence -- both fields masked, so streams are guaranteed
+  /// distinct for up to 2^23 clients x 2^40 jobs each per session and
+  /// alias (never overflow into the tag bit) beyond that.
+  static constexpr std::uint64_t client_stream(std::uint32_t client,
+                                               std::uint64_t seq) {
+    return (std::uint64_t{1} << 63) |
+           ((std::uint64_t{client} & ((std::uint64_t{1} << 23) - 1)) << 40) |
+           (seq & ((std::uint64_t{1} << 40) - 1));
+  }
+
+ private:
+  friend class Client;
+
+  std::future<std::vector<double>> submit_run(Client& c,
+                                              const CircuitHandle& circuit,
+                                              std::span<const double> theta,
+                                              std::span<const double> input);
+  std::future<double> submit_expect(Client& c, const CircuitHandle& circuit,
+                                    const ObservableHandle& observable,
+                                    std::span<const double> theta,
+                                    std::span<const double> input);
+
+  backend::Backend& backend_;
+  ServeOptions options_;
+  std::shared_ptr<detail::SessionState> state_;
+};
+
+}  // namespace qoc::serve

@@ -128,7 +128,7 @@ std::shared_ptr<const transpile::RoutedProgram> TranspileCache::get(
 // ---------------------------------------------------------------------------
 
 StatevectorBackend::StatevectorBackend(int shots, std::uint64_t seed)
-    : shots_(shots), rng_(seed) {
+    : shots_(shots), seed_(seed), rng_(seed) {
   if (shots < 0) throw std::invalid_argument("StatevectorBackend: shots < 0");
 }
 
@@ -183,15 +183,20 @@ std::vector<std::vector<double>> StatevectorBackend::execute_batch(
     return results;
   }
 
-  // Sampled mode: derive one RNG stream per evaluation in submission
-  // order (exactly the split sequence a loop of run() calls would draw),
-  // then execute the batch in parallel.
+  // Sampled mode: derive one RNG stream per evaluation before any worker
+  // starts. Auto evaluations split from the shared generator in
+  // submission order (exactly the split sequence a loop of run() calls
+  // would draw); evaluations that pinned Evaluation::rng_stream get the
+  // pure-function-of-(seed, stream) generator instead and consume no
+  // split, so their results are independent of batch composition.
   std::vector<Prng> rngs;
   rngs.reserve(evals.size());
   {
     const std::lock_guard<std::mutex> lock(rng_mutex_);
     for (std::size_t k = 0; k < evals.size(); ++k)
-      rngs.push_back(rng_.split());
+      rngs.push_back(evals[k].rng_stream == exec::Evaluation::kAutoStream
+                         ? rng_.split()
+                         : stream_rng(evals[k].rng_stream));
   }
   parallel_for_chunked(
       0, evals.size(),
@@ -250,9 +255,13 @@ std::vector<double> StatevectorBackend::execute_expect_batch(
   std::vector<Prng> rngs;
   rngs.reserve(evals.size());
   {
+    // Same stream assignment as execute_batch: submission-order splits
+    // for auto evaluations, pinned streams consume no split.
     const std::lock_guard<std::mutex> lock(rng_mutex_);
     for (std::size_t k = 0; k < evals.size(); ++k)
-      rngs.push_back(rng_.split());
+      rngs.push_back(evals[k].rng_stream == exec::Evaluation::kAutoStream
+                         ? rng_.split()
+                         : stream_rng(evals[k].rng_stream));
   }
   parallel_for_chunked(
       0, evals.size(),
@@ -816,6 +825,10 @@ std::vector<std::vector<double>> NoisyBackend::execute_batch(
     unsigned threads) {
   const auto tmpl = transpile_cache_.get(plan, device_);
   const NoiseTables tables(device_, options_);
+  // Auto evaluations draw serials from the internal counter in
+  // submission order; evaluations that pinned Evaluation::rng_stream use
+  // the pinned id as their serial instead (the counter still advances by
+  // the full batch so auto serials stay position-stable).
   const std::uint64_t base =
       run_serial_.fetch_add(evals.size(), std::memory_order_relaxed);
   std::vector<std::vector<double>> results(evals.size());
@@ -828,7 +841,10 @@ std::vector<std::vector<double>> NoisyBackend::execute_batch(
           plan.resolve_source_angles(e.theta, e.input, e.shift_op, e.shift,
                                      angles);
           const auto t = tmpl->transpile(angles);
-          results[k] = run_transpiled(t, tables, plan.num_qubits(), base + k);
+          const std::uint64_t serial =
+              e.rng_stream == exec::Evaluation::kAutoStream ? base + k
+                                                            : e.rng_stream;
+          results[k] = run_transpiled(t, tables, plan.num_qubits(), serial);
         }
       },
       threads);
@@ -858,7 +874,10 @@ std::vector<double> NoisyBackend::execute_expect_batch(
           plan.resolve_source_angles(e.theta, e.input, e.shift_op, e.shift,
                                      angles);
           const auto t = tmpl->transpile(angles);
-          results[k] = expect_transpiled(t, tables, observable, base + k);
+          const std::uint64_t serial =
+              e.rng_stream == exec::Evaluation::kAutoStream ? base + k
+                                                            : e.rng_stream;
+          results[k] = expect_transpiled(t, tables, observable, serial);
         }
       },
       threads);

@@ -1,0 +1,687 @@
+#include "qoc/serve/serve.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <condition_variable>
+#include <deque>
+#include <list>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+
+#include "qoc/common/thread_pool.hpp"
+
+namespace qoc::serve {
+namespace detail {
+
+using Clock = std::chrono::steady_clock;
+
+struct CircuitEntry {
+  const SessionState* owner = nullptr;
+  std::uint64_t id = 0;
+  exec::CompileOptions options;
+  exec::CompiledCircuit plan;
+};
+
+struct ObservableEntry {
+  const SessionState* owner = nullptr;
+  std::uint64_t id = 0;
+  exec::CompiledObservable observable;
+};
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Bitwise hash of a job's cache identity. Doubles are hashed (and later
+/// compared) bit-for-bit: the cache must never unify bindings that merely
+/// compare equal (e.g. -0.0 vs 0.0 steer sign-sensitive paths apart).
+std::uint64_t binding_hash(std::uint64_t circuit_id, std::uint64_t obs_id,
+                           std::span<const double> theta,
+                           std::span<const double> input) {
+  std::uint64_t h = mix(mix(0x5E4EC0DEULL, circuit_id), obs_id);
+  for (const double d : theta) h = mix(h, std::bit_cast<std::uint64_t>(d));
+  h = mix(h, 0xB1D1B0DAULL);  // theta/input boundary marker
+  for (const double d : input) h = mix(h, std::bit_cast<std::uint64_t>(d));
+  return h;
+}
+
+bool spans_equal_bitwise(std::span<const double> a,
+                         std::span<const double> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::bit_cast<std::uint64_t>(a[i]) !=
+        std::bit_cast<std::uint64_t>(b[i]))
+      return false;
+  return true;
+}
+
+/// Observable identity for registry dedup: the (qubit count, term list)
+/// pair fully determines a CompiledObservable (constant and groups are
+/// derived from it deterministically). Coefficients compare bitwise.
+std::uint64_t observable_hash(const exec::CompiledObservable& o) {
+  std::uint64_t h = mix(0x0B5E7FULL, static_cast<std::uint64_t>(o.num_qubits()));
+  for (const auto& t : o.terms()) {
+    for (const char ch : t.paulis)
+      h = mix(h, static_cast<std::uint64_t>(static_cast<unsigned char>(ch)));
+    h = mix(h, std::bit_cast<std::uint64_t>(t.coeff));
+    h = mix(h, 0x7E53ULL);  // term separator
+  }
+  return h;
+}
+
+bool observable_equal(const exec::CompiledObservable& a,
+                      const exec::CompiledObservable& b) {
+  if (a.num_qubits() != b.num_qubits() ||
+      a.terms().size() != b.terms().size())
+    return false;
+  for (std::size_t i = 0; i < a.terms().size(); ++i) {
+    if (a.terms()[i].paulis != b.terms()[i].paulis ||
+        std::bit_cast<std::uint64_t>(a.terms()[i].coeff) !=
+            std::bit_cast<std::uint64_t>(b.terms()[i].coeff))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+/// One queued evaluation. Bindings are owned copies, so client buffers
+/// are free the moment submit() returns; the promise is fulfilled by the
+/// dispatcher after the coalesced batch runs.
+struct Job {
+  std::vector<double> theta, input;
+  std::uint64_t stream = 0;
+  std::uint64_t key_hash = 0;  // result-cache key (0 when cache disabled)
+  Clock::time_point enqueued;
+  bool is_expect = false;
+  std::promise<std::vector<double>> run_promise;
+  std::promise<double> expect_promise;
+};
+
+/// All jobs queued for one (circuit structure, observable) pair --
+/// exactly the granularity one run_batch / expect_batch call serves.
+/// Jobs live in per-client FIFO lanes; extraction round-robins across
+/// lanes so a full batch always carries every waiting client.
+struct Bucket {
+  std::shared_ptr<const CircuitEntry> circuit;
+  std::shared_ptr<const ObservableEntry> observable;  // null for run jobs
+  std::map<std::uint32_t, std::deque<Job>> lanes;
+  std::size_t size = 0;
+  Clock::time_point oldest;   // enqueue time of the oldest queued job
+  std::uint32_t next_lane = 0;  // fairness cursor across drains
+};
+
+struct CacheEntry {
+  std::uint64_t key_hash = 0;
+  std::uint64_t circuit_id = 0, obs_id = 0;
+  std::vector<double> theta, input;
+  bool is_expect = false;
+  std::vector<double> run_result;
+  double expect_result = 0.0;
+};
+
+struct SessionState {
+  backend::Backend& backend;
+  const ServeOptions options;
+  const bool cache_enabled;
+  const Clock::time_point started = Clock::now();
+
+  // ---- job queue + metrics (mutex) ----
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  bool stop = false;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Bucket> buckets;
+  std::size_t total_queued = 0;
+
+  std::uint64_t submitted = 0, completed = 0, failed = 0, cache_hits = 0;
+  std::uint64_t batches = 0, coalesced_jobs = 0;
+  std::uint64_t size_flushes = 0, deadline_flushes = 0;
+  std::size_t peak_queue_depth = 0;
+  static constexpr std::size_t kLatencyWindow = 8192;
+  std::vector<double> latency_us = std::vector<double>(kLatencyWindow, 0.0);
+  std::size_t latency_pos = 0;
+
+  // ---- circuit / observable registry (registry_mutex) ----
+  std::mutex registry_mutex;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::weak_ptr<const CircuitEntry>>>
+      registry;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::weak_ptr<const ObservableEntry>>>
+      obs_registry;
+  std::uint64_t next_circuit_id = 1;
+  std::uint64_t next_observable_id = 1;
+  std::atomic<std::uint32_t> next_client{0};
+
+  // ---- bounded LRU result cache (cache_mutex) ----
+  std::mutex cache_mutex;
+  std::list<CacheEntry> lru;  // front = most recently used
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::list<CacheEntry>::iterator>>
+      cache_index;
+
+  // ---- dispatcher ----
+  std::mutex join_mutex;
+  std::thread dispatcher;
+
+  SessionState(backend::Backend& b, ServeOptions o)
+      : backend(b),
+        options(o),
+        cache_enabled(o.result_cache_capacity > 0 && b.deterministic()) {}
+
+  // Drain concurrency: the requested fan-out, capped at what the shared
+  // pool can actually supply right now (workers + the dispatcher
+  // itself). Thread count never affects results (the run_batch
+  // determinism contract), so reading a stale snapshot is harmless.
+  unsigned drain_threads() const {
+    unsigned t = options.exec_threads == 0 ? hardware_threads()
+                                           : options.exec_threads;
+    const auto pool = common::ThreadPool::global().stats();
+    return std::min<unsigned>(t, pool.workers + 1);
+  }
+
+  void record_latency(Clock::time_point enqueued, Clock::time_point now) {
+    const double us =
+        std::chrono::duration<double, std::micro>(now - enqueued).count();
+    latency_us[latency_pos % kLatencyWindow] = us;
+    ++latency_pos;
+  }
+
+  // ---- result cache -------------------------------------------------------
+
+  const CacheEntry* cache_find_locked(std::uint64_t key_hash,
+                                      std::uint64_t circuit_id,
+                                      std::uint64_t obs_id,
+                                      std::span<const double> theta,
+                                      std::span<const double> input) {
+    const auto it = cache_index.find(key_hash);
+    if (it == cache_index.end()) return nullptr;
+    for (const auto& entry_it : it->second) {
+      if (entry_it->circuit_id != circuit_id || entry_it->obs_id != obs_id)
+        continue;
+      if (!spans_equal_bitwise(entry_it->theta, theta) ||
+          !spans_equal_bitwise(entry_it->input, input))
+        continue;
+      lru.splice(lru.begin(), lru, entry_it);  // refresh recency
+      return &*entry_it;
+    }
+    return nullptr;
+  }
+
+  void cache_insert(CacheEntry entry) {
+    const std::lock_guard<std::mutex> lock(cache_mutex);
+    if (cache_find_locked(entry.key_hash, entry.circuit_id, entry.obs_id,
+                          entry.theta, entry.input) != nullptr)
+      return;  // a concurrent duplicate already landed; keep it fresh
+    while (lru.size() >= options.result_cache_capacity) {
+      const auto victim = std::prev(lru.end());
+      auto& bucket = cache_index[victim->key_hash];
+      std::erase(bucket, victim);
+      if (bucket.empty()) cache_index.erase(victim->key_hash);
+      lru.pop_back();
+    }
+    lru.push_front(std::move(entry));
+    cache_index[lru.front().key_hash].push_back(lru.begin());
+  }
+
+  // ---- queue --------------------------------------------------------------
+
+  /// Remove up to `max` jobs from `b`, one per client lane per round.
+  /// Caller holds `mutex`.
+  std::vector<Job> extract_locked(Bucket& b, std::size_t max) {
+    std::vector<Job> out;
+    out.reserve(std::min(b.size, max));
+    while (out.size() < max && b.size > 0) {
+      auto it = b.lanes.lower_bound(b.next_lane);
+      if (it == b.lanes.end()) it = b.lanes.begin();
+      out.push_back(std::move(it->second.front()));
+      it->second.pop_front();
+      --b.size;
+      --total_queued;
+      b.next_lane = it->first + 1;
+      if (it->second.empty()) b.lanes.erase(it);
+    }
+    if (b.size > 0) {
+      b.oldest = Clock::time_point::max();
+      for (const auto& [client, lane] : b.lanes)
+        b.oldest = std::min(b.oldest, lane.front().enqueued);
+    }
+    return out;
+  }
+
+  /// Run one coalesced batch through the backend and fulfil every
+  /// promise. Called by the dispatcher with `mutex` released.
+  void execute(const std::shared_ptr<const CircuitEntry>& circuit,
+               const std::shared_ptr<const ObservableEntry>& observable,
+               std::vector<Job> batch) {
+    std::vector<exec::Evaluation> evals;
+    evals.reserve(batch.size());
+    for (const Job& j : batch)
+      evals.push_back({j.theta, j.input, exec::Evaluation::kNoShift, 0.0,
+                       j.stream});
+    const unsigned threads = drain_threads();
+
+    // Only the backend call itself can fail a job. Counters and
+    // latencies are committed BEFORE any promise is fulfilled, so a
+    // client that observes its future ready also observes metrics that
+    // count it; fulfilment afterwards is nothrow (fresh promises,
+    // nothrow payload moves), and cache insertion swallows its own
+    // failures -- a job whose result was computed must not be failed
+    // retroactively because memoising it ran out of memory.
+    std::vector<std::vector<double>> run_results;
+    std::vector<double> expect_results;
+    try {
+      if (observable == nullptr)
+        run_results = backend.run_batch(circuit->plan, evals, threads);
+      else
+        expect_results = backend.expect_batch(circuit->plan,
+                                              observable->observable, evals,
+                                              threads);
+    } catch (...) {
+      const auto error = std::current_exception();
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        failed += batch.size();
+      }
+      for (Job& j : batch) {
+        if (j.is_expect)
+          j.expect_promise.set_exception(error);
+        else
+          j.run_promise.set_exception(error);
+      }
+      return;
+    }
+
+    {
+      const auto now = Clock::now();
+      const std::lock_guard<std::mutex> lock(mutex);
+      completed += batch.size();
+      for (const Job& j : batch) record_latency(j.enqueued, now);
+    }
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      if (cache_enabled) {
+        try {
+          if (observable == nullptr)
+            cache_insert({batch[k].key_hash, circuit->id, 0, batch[k].theta,
+                          batch[k].input, false, run_results[k], 0.0});
+          else
+            cache_insert({batch[k].key_hash, circuit->id, observable->id,
+                          batch[k].theta, batch[k].input, true, {},
+                          expect_results[k]});
+        } catch (...) {
+        }
+      }
+      if (observable == nullptr)
+        batch[k].run_promise.set_value(std::move(run_results[k]));
+      else
+        batch[k].expect_promise.set_value(expect_results[k]);
+    }
+  }
+
+  /// Coalescer loop: wait until some bucket is full (size flush) or its
+  /// oldest job's deadline passed (deadline flush), drain it through one
+  /// backend call, repeat. After stop() every remaining job drains
+  /// immediately, so shutdown never abandons a future.
+  void dispatcher_loop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      if (total_queued == 0) {
+        if (stop) return;
+        cv.wait(lock);
+        continue;
+      }
+      // Expired deadlines outrank size-full buckets: under sustained
+      // full-batch traffic on one structure, other structures' jobs
+      // must still flush within max_delay (no cross-structure
+      // starvation). Size flushes only apply while every deadline is
+      // still in the future.
+      const auto now = Clock::now();
+      auto pick = buckets.end();
+      bool by_size = false;
+      auto earliest = Clock::time_point::max();
+      auto earliest_it = buckets.end();
+      auto full_it = buckets.end();
+      for (auto it = buckets.begin(); it != buckets.end(); ++it) {
+        if (it->second.size == 0) continue;
+        if (full_it == buckets.end() && it->second.size >= options.max_batch)
+          full_it = it;
+        const auto deadline = it->second.oldest + options.max_delay;
+        if (deadline < earliest) {
+          earliest = deadline;
+          earliest_it = it;
+        }
+      }
+      if (stop || earliest <= now) {
+        pick = earliest_it;
+      } else if (full_it != buckets.end()) {
+        pick = full_it;
+        by_size = true;
+      } else {
+        cv.wait_until(lock, earliest);
+        continue;
+      }
+
+      auto& bucket = pick->second;
+      const auto circuit = bucket.circuit;
+      const auto observable = bucket.observable;
+      std::vector<Job> batch = extract_locked(bucket, options.max_batch);
+      if (bucket.size == 0) buckets.erase(pick);
+      ++batches;
+      coalesced_jobs += batch.size();
+      if (by_size)
+        ++size_flushes;
+      else if (!stop)
+        ++deadline_flushes;
+
+      lock.unlock();
+      execute(circuit, observable, std::move(batch));
+      lock.lock();
+    }
+  }
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+const exec::CompiledCircuit& CircuitHandle::plan() const {
+  if (!entry_) throw std::logic_error("CircuitHandle: empty handle");
+  return entry_->plan;
+}
+
+std::uint64_t CircuitHandle::id() const {
+  if (!entry_) throw std::logic_error("CircuitHandle: empty handle");
+  return entry_->id;
+}
+
+const exec::CompiledObservable& ObservableHandle::observable() const {
+  if (!entry_) throw std::logic_error("ObservableHandle: empty handle");
+  return entry_->observable;
+}
+
+std::uint64_t ObservableHandle::id() const {
+  if (!entry_) throw std::logic_error("ObservableHandle: empty handle");
+  return entry_->id;
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+std::future<std::vector<double>> Client::submit(const CircuitHandle& circuit,
+                                                std::span<const double> theta,
+                                                std::span<const double> input) {
+  if (session_ == nullptr)
+    throw std::logic_error("serve::Client: default-constructed client");
+  return session_->submit_run(*this, circuit, theta, input);
+}
+
+std::future<double> Client::submit_expect(const CircuitHandle& circuit,
+                                          const ObservableHandle& observable,
+                                          std::span<const double> theta,
+                                          std::span<const double> input) {
+  if (session_ == nullptr)
+    throw std::logic_error("serve::Client: default-constructed client");
+  return session_->submit_expect(*this, circuit, observable, theta, input);
+}
+
+// ---------------------------------------------------------------------------
+// ServeSession
+// ---------------------------------------------------------------------------
+
+ServeSession::ServeSession(backend::Backend& backend, ServeOptions options)
+    : backend_(backend), options_(options) {
+  if (options_.max_batch == 0)
+    throw std::invalid_argument("ServeSession: max_batch == 0");
+  if (options_.max_delay.count() < 0)
+    throw std::invalid_argument("ServeSession: negative max_delay");
+  state_ = std::make_shared<detail::SessionState>(backend_, options_);
+  state_->dispatcher =
+      std::thread([s = state_.get()] { s->dispatcher_loop(); });
+}
+
+ServeSession::~ServeSession() { shutdown(); }
+
+void ServeSession::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stop = true;
+  }
+  state_->cv.notify_all();
+  const std::lock_guard<std::mutex> lock(state_->join_mutex);
+  if (state_->dispatcher.joinable()) state_->dispatcher.join();
+}
+
+CircuitHandle ServeSession::register_circuit(const circuit::Circuit& c,
+                                             exec::CompileOptions options) {
+  auto* s = state_.get();
+  const std::uint64_t h = exec::structure_hash(c);
+  const std::lock_guard<std::mutex> lock(s->registry_mutex);
+  auto& bucket = s->registry[h];
+  std::erase_if(bucket, [](const auto& w) { return w.expired(); });
+  for (const auto& weak : bucket) {
+    if (const auto entry = weak.lock()) {
+      if (entry->options.fuse_1q == options.fuse_1q &&
+          exec::structure_equal(c, entry->plan.source()))
+        return CircuitHandle(entry);
+    }
+  }
+  auto entry = std::make_shared<const detail::CircuitEntry>(detail::CircuitEntry{
+      s, s->next_circuit_id++, options,
+      exec::CompiledCircuit::compile(c, options)});
+  bucket.push_back(entry);
+  return CircuitHandle(std::move(entry));
+}
+
+ObservableHandle ServeSession::register_observable(
+    exec::CompiledObservable observable) {
+  // Dedup like register_circuit: identical observables must share one
+  // id, or jobs from different clients would land in different
+  // coalescing buckets (and result-cache keys) and never batch.
+  auto* s = state_.get();
+  const std::uint64_t h = detail::observable_hash(observable);
+  const std::lock_guard<std::mutex> lock(s->registry_mutex);
+  auto& bucket = s->obs_registry[h];
+  std::erase_if(bucket, [](const auto& w) { return w.expired(); });
+  for (const auto& weak : bucket) {
+    if (const auto entry = weak.lock()) {
+      if (detail::observable_equal(entry->observable, observable))
+        return ObservableHandle(entry);
+    }
+  }
+  auto entry = std::make_shared<const detail::ObservableEntry>(
+      detail::ObservableEntry{s, s->next_observable_id++,
+                              std::move(observable)});
+  bucket.push_back(entry);
+  return ObservableHandle(std::move(entry));
+}
+
+Client ServeSession::client() {
+  return Client(this, state_->next_client.fetch_add(1));
+}
+
+namespace {
+
+void validate_submission(const detail::SessionState* owner,
+                         const detail::CircuitEntry* entry,
+                         std::span<const double> theta,
+                         std::span<const double> input) {
+  if (entry == nullptr)
+    throw std::invalid_argument("serve: submit with an empty CircuitHandle");
+  if (entry->owner != owner)
+    throw std::invalid_argument(
+        "serve: CircuitHandle belongs to a different session");
+  if (theta.size() < static_cast<std::size_t>(entry->plan.num_trainable()))
+    throw std::invalid_argument("serve: theta shorter than the plan's "
+                                "trainable-parameter count");
+  if (input.size() < static_cast<std::size_t>(entry->plan.num_inputs()))
+    throw std::invalid_argument(
+        "serve: input shorter than the plan's feature count");
+}
+
+/// Shared submission path for run and expect jobs (they differ only in
+/// result type, promise member and observable id): cache probe,
+/// job construction, stop check, bucket enqueue and dispatcher nudge
+/// all live here exactly once. `observable` is null for run jobs.
+template <typename Result>
+std::future<Result> submit_impl(
+    detail::SessionState* s, std::uint32_t client_id, std::uint64_t seq,
+    const std::shared_ptr<const detail::CircuitEntry>& circuit,
+    const std::shared_ptr<const detail::ObservableEntry>& observable,
+    std::span<const double> theta, std::span<const double> input) {
+  constexpr bool kExpect = std::is_same_v<Result, double>;
+  const auto now = detail::Clock::now();
+  const std::uint64_t stream = ServeSession::client_stream(client_id, seq);
+  const std::uint64_t obs_id = kExpect ? observable->id : 0;
+  const std::uint64_t key_hash =
+      s->cache_enabled
+          ? detail::binding_hash(circuit->id, obs_id, theta, input)
+          : 0;
+
+  if (s->cache_enabled) {
+    Result hit{};
+    bool found = false;
+    {
+      const std::lock_guard<std::mutex> lock(s->cache_mutex);
+      if (const auto* entry = s->cache_find_locked(key_hash, circuit->id,
+                                                   obs_id, theta, input)) {
+        if constexpr (kExpect)
+          hit = entry->expect_result;
+        else
+          hit = entry->run_result;
+        found = true;
+      }
+    }
+    if (found) {
+      {
+        const std::lock_guard<std::mutex> lock(s->mutex);
+        if (s->stop) throw std::runtime_error("ServeSession: shut down");
+        ++s->submitted;
+        ++s->completed;
+        ++s->cache_hits;
+        s->record_latency(now, detail::Clock::now());
+      }
+      std::promise<Result> p;
+      auto f = p.get_future();
+      p.set_value(std::move(hit));
+      return f;
+    }
+  }
+
+  detail::Job job;
+  job.theta.assign(theta.begin(), theta.end());
+  job.input.assign(input.begin(), input.end());
+  job.stream = stream;
+  job.key_hash = key_hash;
+  job.enqueued = now;
+  job.is_expect = kExpect;
+  auto future = [&job] {
+    if constexpr (kExpect)
+      return job.expect_promise.get_future();
+    else
+      return job.run_promise.get_future();
+  }();
+
+  {
+    const std::lock_guard<std::mutex> lock(s->mutex);
+    if (s->stop) throw std::runtime_error("ServeSession: shut down");
+    auto& bucket = s->buckets[{circuit->id, obs_id}];
+    if (bucket.circuit == nullptr) {
+      bucket.circuit = circuit;
+      bucket.observable = observable;
+    }
+    if (bucket.size == 0) bucket.oldest = now;
+    bucket.lanes[client_id].push_back(std::move(job));
+    ++bucket.size;
+    ++s->total_queued;
+    ++s->submitted;
+    s->peak_queue_depth = std::max(s->peak_queue_depth, s->total_queued);
+    // A job never shortens an existing bucket's deadline, so the
+    // dispatcher only needs a nudge when a new deadline appears or a
+    // size flush becomes possible.
+    if (bucket.size == 1 || bucket.size >= s->options.max_batch)
+      s->cv.notify_all();
+  }
+  return future;
+}
+
+}  // namespace
+
+std::future<std::vector<double>> ServeSession::submit_run(
+    Client& c, const CircuitHandle& circuit, std::span<const double> theta,
+    std::span<const double> input) {
+  auto* s = state_.get();
+  validate_submission(s, circuit.entry_.get(), theta, input);
+  return submit_impl<std::vector<double>>(s, c.id_, c.seq_++, circuit.entry_,
+                                          nullptr, theta, input);
+}
+
+std::future<double> ServeSession::submit_expect(
+    Client& c, const CircuitHandle& circuit, const ObservableHandle& observable,
+    std::span<const double> theta, std::span<const double> input) {
+  auto* s = state_.get();
+  validate_submission(s, circuit.entry_.get(), theta, input);
+  if (!observable.valid())
+    throw std::invalid_argument("serve: submit with an empty ObservableHandle");
+  if (observable.entry_->owner != s)
+    throw std::invalid_argument(
+        "serve: ObservableHandle belongs to a different session");
+  if (observable.entry_->observable.num_qubits() !=
+      circuit.entry_->plan.num_qubits())
+    throw std::invalid_argument("serve: observable qubit count mismatch");
+  return submit_impl<double>(s, c.id_, c.seq_++, circuit.entry_,
+                             observable.entry_, theta, input);
+}
+
+MetricsSnapshot ServeSession::metrics() const {
+  const auto* s = state_.get();
+  MetricsSnapshot m;
+  std::vector<double> window;
+  {
+    const std::lock_guard<std::mutex> lock(s->mutex);
+    m.submitted = s->submitted;
+    m.completed = s->completed;
+    m.failed = s->failed;
+    m.cache_hits = s->cache_hits;
+    m.batches = s->batches;
+    m.coalesced_jobs = s->coalesced_jobs;
+    m.size_flushes = s->size_flushes;
+    m.deadline_flushes = s->deadline_flushes;
+    m.queue_depth = s->total_queued;
+    m.peak_queue_depth = s->peak_queue_depth;
+    const std::size_t filled =
+        std::min(s->latency_pos, detail::SessionState::kLatencyWindow);
+    window.assign(s->latency_us.begin(),
+                  s->latency_us.begin() + static_cast<std::ptrdiff_t>(filled));
+  }
+  if (m.batches > 0)
+    m.mean_batch_occupancy = static_cast<double>(m.coalesced_jobs) /
+                             static_cast<double>(m.batches);
+  if (!window.empty()) {
+    std::sort(window.begin(), window.end());
+    m.p50_latency_us = window[(window.size() - 1) / 2];
+    m.p99_latency_us = window[(window.size() - 1) * 99 / 100];
+  }
+  const double elapsed_s = std::chrono::duration<double>(
+                               detail::Clock::now() - s->started)
+                               .count();
+  if (elapsed_s > 0.0)
+    m.throughput_per_s = static_cast<double>(m.completed) / elapsed_s;
+  const auto pool = common::ThreadPool::global().stats();
+  m.pool_workers = pool.workers;
+  m.pool_pending = pool.pending_tickets;
+  return m;
+}
+
+}  // namespace qoc::serve

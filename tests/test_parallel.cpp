@@ -29,6 +29,35 @@ TEST(ThreadPool, GlobalPoolHasWorkers) {
   EXPECT_FALSE(common::ThreadPool::on_worker_thread());
 }
 
+TEST(ThreadPool, ParseThreadCountOverride) {
+  // The QOC_THREADS parsing rules, testable without touching the
+  // process environment (hardware_threads() latches on first call).
+  EXPECT_EQ(parse_thread_count(nullptr), 0u);
+  EXPECT_EQ(parse_thread_count(""), 0u);
+  EXPECT_EQ(parse_thread_count("8"), 8u);
+  EXPECT_EQ(parse_thread_count("1"), 1u);
+  EXPECT_EQ(parse_thread_count("0"), 0u);    // non-positive: no override
+  EXPECT_EQ(parse_thread_count("-3"), 0u);
+  EXPECT_EQ(parse_thread_count("abc"), 0u);  // non-numeric: no override
+  EXPECT_EQ(parse_thread_count("4x"), 0u);   // trailing junk: no override
+  EXPECT_EQ(parse_thread_count("4096"), 4096u);
+  EXPECT_EQ(parse_thread_count("5000"), 0u);  // absurd: no override
+  // strtol overflow saturates to LONG_MAX; must not become ~4B workers.
+  EXPECT_EQ(parse_thread_count("99999999999999999999"), 0u);
+}
+
+TEST(ThreadPool, StatsReportWorkersAndPendingTickets) {
+  common::ThreadPool pool(2);
+  const auto idle = pool.stats();
+  EXPECT_EQ(idle.workers, 2u);
+  EXPECT_EQ(idle.pending_tickets, 0u);
+
+  // The global pool's snapshot is coherent too (pending tickets can be
+  // non-zero only transiently while a run is being distributed).
+  const auto global = common::ThreadPool::global().stats();
+  EXPECT_EQ(global.workers, common::ThreadPool::global().size());
+}
+
 TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
   for (const unsigned threads : {1u, 2u, 4u, 0u}) {
     std::vector<std::atomic<int>> hits(1001);
