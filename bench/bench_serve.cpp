@@ -18,6 +18,16 @@
 //     a shared catalog of popular bindings (the
 //     millions-of-users-few-models traffic shape); the deterministic
 //     result cache serves repeats without touching the backend.
+//   * ServeShardedMultiStructure -- clients spread unique-binding
+//     traffic across 8 circuit structures against a BackendPool of
+//     1 vs 4 statevector replicas; structure affinity pins each
+//     structure to one replica's drain lane, so the replicas:4 /
+//     replicas:1 ratio is the sharding speedup on multi-core hardware
+//     (parity on one core: the lanes contend for the same cycles).
+//   * ServeHotDuplicates  -- all clients hammer one popular binding per
+//     window with the result cache off; fold:1 vs fold:0 isolates the
+//     in-flight duplicate-folding win (one execution per batch fans
+//     out to every duplicate).
 //
 // items_per_second counts served requests, so the serve/naive ratio at
 // equal thread counts is the coalescing speedup. The serve lines also
@@ -197,6 +207,138 @@ void BM_ServeHotSet(benchmark::State& state) {
   export_serve_counters(state, rig.session);
 }
 BENCHMARK(BM_ServeHotSet)->Threads(8)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Sharded traffic shapes
+// ---------------------------------------------------------------------------
+
+constexpr int kStructures = 8;
+
+/// Eight distinct 10-qubit structures (encoder widths 3..10), so
+/// structure-affinity routing has something to spread across replicas.
+std::vector<circuit::Circuit> make_structure_catalog() {
+  std::vector<circuit::Circuit> out;
+  for (int s = 0; s < kStructures; ++s) {
+    circuit::Circuit c(kQubits);
+    circuit::add_rotation_encoder(c, 3 + s);
+    for (int l = 0; l < kLayers; ++l) {
+      circuit::add_rzz_ring_layer(c);
+      circuit::add_ry_layer(c);
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+struct ShardedRig {
+  std::vector<circuit::Circuit> qnns = make_structure_catalog();
+  backend::StatevectorBackend primary{0};
+  serve::ServeSession session;
+  std::vector<serve::CircuitHandle> handles;
+
+  ShardedRig(std::size_t replicas, serve::ServeOptions opt)
+      : session(serve::BackendPool(primary, replicas), opt) {
+    for (const auto& c : qnns) handles.push_back(session.register_circuit(c));
+  }
+};
+
+ShardedRig& sharded_rig_for(std::size_t replicas, int threads) {
+  static std::mutex mutex;
+  static std::map<std::pair<std::size_t, int>, std::unique_ptr<ShardedRig>>
+      rigs;
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = rigs[{replicas, threads}];
+  if (!slot) slot = std::make_unique<ShardedRig>(replicas, serve_opts(0));
+  return *slot;
+}
+
+/// Multi-structure unique-binding traffic against 1 vs N replicas:
+/// every structure's batches drain through its affinity replica's lane,
+/// so with N replicas up to N batches execute concurrently.
+void BM_ServeShardedMultiStructure(benchmark::State& state) {
+  auto& rig = sharded_rig_for(static_cast<std::size_t>(state.range(0)),
+                              state.threads());
+  auto client = rig.session.client();
+  std::vector<std::vector<double>> thetas, inputs;
+  for (const auto& c : rig.qnns) {
+    thetas.push_back(base_theta(c));
+    inputs.push_back(base_input(c));
+  }
+  std::vector<std::future<std::vector<double>>> futures;
+  futures.reserve(kWindow);
+  std::uint64_t serial = 0;
+  for (auto _ : state) {
+    futures.clear();
+    for (std::size_t w = 0; w < kWindow; ++w) {
+      const std::size_t s = serial % kStructures;
+      unique_binding(thetas[s], state.thread_index(), serial++);
+      futures.push_back(
+          client.submit(rig.handles[s], thetas[s], inputs[s]));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kWindow));
+  export_serve_counters(state, rig.session);
+  if (state.thread_index() == 0) {
+    const auto m = rig.session.metrics();
+    double active = 0;
+    for (const auto& r : m.replicas)
+      if (r.batches > 0) active += 1.0;
+    state.counters["replicas_active"] = active;
+  }
+}
+BENCHMARK(BM_ServeShardedMultiStructure)
+    ->Arg(1)
+    ->Arg(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+ServeRig& fold_rig_for(bool fold, int threads) {
+  static std::mutex mutex;
+  static std::map<std::pair<bool, int>, std::unique_ptr<ServeRig>> rigs;
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = rigs[{fold, threads}];
+  if (!slot) {
+    serve::ServeOptions opt = serve_opts(0);  // cache off: isolate folding
+    opt.fold_duplicates = fold;
+    slot = std::make_unique<ServeRig>(opt);
+  }
+  return *slot;
+}
+
+/// Hot-duplicate traffic: every client submits the same popular binding
+/// for a whole window (rotating through a small catalog across
+/// windows), result cache off. With folding each coalesced batch
+/// executes one evaluation and fans it out; without, every duplicate
+/// hits the backend.
+void BM_ServeHotDuplicates(benchmark::State& state) {
+  auto& rig = fold_rig_for(state.range(0) != 0, state.threads());
+  auto client = rig.session.client();
+  std::vector<double> theta = base_theta(rig.qnn);
+  const std::vector<double> input = base_input(rig.qnn);
+  std::vector<std::future<std::vector<double>>> futures;
+  futures.reserve(kWindow);
+  std::uint64_t window = 0;
+  for (auto _ : state) {
+    futures.clear();
+    hot_binding(theta, window++);
+    for (std::size_t w = 0; w < kWindow; ++w)
+      futures.push_back(client.submit(rig.handle, theta, input));
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kWindow));
+  export_serve_counters(state, rig.session);
+  if (state.thread_index() == 0) {
+    const auto m = rig.session.metrics();
+    state.counters["folded_pct"] =
+        m.completed ? 100.0 * static_cast<double>(m.folded_jobs) /
+                          static_cast<double>(m.completed)
+                    : 0.0;
+  }
+}
+BENCHMARK(BM_ServeHotDuplicates)->Arg(0)->Arg(1)->Threads(8)->UseRealTime();
 
 }  // namespace
 

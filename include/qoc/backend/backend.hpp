@@ -129,6 +129,22 @@ class Backend {
   /// bindings (qoc::serve's result cache does) only when this holds.
   virtual bool deterministic() const { return false; }
 
+  /// Stamp out a fresh, independently-usable backend with this
+  /// backend's construction-time configuration (shots, seed, device
+  /// model, noise options...). Replica contract: an evaluation that
+  /// pins Evaluation::rng_stream produces bit-identical results on the
+  /// original and on any replica (the stream derivation is a pure
+  /// function of the configured seed and the stream id), so a replica
+  /// pool (serve::BackendPool) may route pinned-stream jobs to any
+  /// replica without changing their outcome. Replicas do NOT share
+  /// mutable state: inference counters, plan/transpile caches and
+  /// auto-stream serials start fresh, so auto-stream (unpinned)
+  /// stochastic evaluations may diverge from a backend that has already
+  /// consumed draws. Returns nullptr when the backend cannot replicate
+  /// itself (custom backends wrapping exclusive resources); pool
+  /// constructors that need clones throw in that case.
+  virtual std::unique_ptr<Backend> clone_replica() const { return nullptr; }
+
   /// Total number of circuit executions since construction / last reset.
   /// This is the "#Inference" axis of Figure 6.
   ///
@@ -215,6 +231,9 @@ class StatevectorBackend final : public Backend {
   std::string name() const override { return "statevector"; }
   /// Exact mode (shots == 0) is a pure function of the bindings.
   bool deterministic() const override { return shots_ == 0; }
+  std::unique_ptr<Backend> clone_replica() const override {
+    return std::make_unique<StatevectorBackend>(shots_, seed_);
+  }
   int shots() const { return shots_; }
 
  protected:
@@ -313,6 +332,9 @@ class DensityMatrixBackend final : public Backend {
   std::string name() const override { return "density:" + device_.name; }
   /// Exact channel evolution: no sampling anywhere.
   bool deterministic() const override { return true; }
+  std::unique_ptr<Backend> clone_replica() const override {
+    return std::make_unique<DensityMatrixBackend>(device_, options_);
+  }
   const noise::DeviceModel& device() const { return device_; }
 
  protected:
@@ -345,6 +367,9 @@ class NoisyBackend final : public Backend {
   NoisyBackend(noise::DeviceModel device, NoisyBackendOptions options = {});
 
   std::string name() const override { return "noisy:" + device_.name; }
+  std::unique_ptr<Backend> clone_replica() const override {
+    return std::make_unique<NoisyBackend>(device_, options_);
+  }
   const noise::DeviceModel& device() const { return device_; }
   const NoisyBackendOptions& options() const { return options_; }
 

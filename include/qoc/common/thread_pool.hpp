@@ -103,6 +103,20 @@ class ThreadPool {
     return {size(), tickets_.size()};
   }
 
+  /// Drain-concurrency accounting for callers that fan out into this
+  /// pool from several concurrent consumers (e.g. the per-replica drain
+  /// lanes of serve::BackendPool): `requested` threads capped at an
+  /// equal share of what the pool can supply -- its workers plus each
+  /// consumer's own calling thread -- never below 1. With one consumer
+  /// this reduces to the classic workers+1 cap; with N lanes executing
+  /// at once it stops every lane from requesting the full pool width
+  /// and thrashing the ticket queue. `consumers` == 0 is treated as 1.
+  unsigned fair_share(unsigned requested, unsigned consumers) const {
+    const unsigned c = consumers == 0 ? 1 : consumers;
+    const unsigned supply = stats().workers + c;  // workers + one caller each
+    return std::max(1u, std::min(requested, supply / c));
+  }
+
   /// Process-wide shared pool (hardware_threads() workers, created on
   /// first use). All qoc parallel execution funnels through this one
   /// instance so concurrent batches share a bounded set of threads.

@@ -11,8 +11,15 @@
 // is the missing front end that turns that traffic shape into the one
 // the substrate is good at:
 //
-//   * ServeSession owns one Backend and one dispatcher thread. Clients
-//     submit jobs non-blockingly and get std::futures back.
+//   * ServeSession fronts a BackendPool of N backend replicas (a pool
+//     of one wraps a caller-owned backend, preserving the PR 4 API).
+//     Clients submit jobs non-blockingly and get std::futures back.
+//     Each replica owns a drain lane (a worker thread with its own
+//     batch queue), so coalesced batches execute concurrently across
+//     replicas; a routing layer keeps each circuit structure sticky to
+//     one replica (structure affinity -- its transpile and pattern
+//     caches stay hot) and places new structures on the replica with
+//     the least queued work.
 //   * A circuit registry hands out ref-counted compile-once handles:
 //     register a model once, submit only bindings afterwards.
 //   * The batch coalescer groups queued jobs by compiled-circuit
@@ -23,27 +30,51 @@
 //     starve the rest of a full batch.
 //   * A bounded LRU result cache keyed on (structure, observable,
 //     bitwise bindings) serves repeat requests without touching the
-//     backend -- enabled only when the backend reports deterministic()
-//     (exact statevector, density matrix), since memoising sampled
-//     results would silently change their statistics.
+//     backend -- enabled only when every replica reports
+//     deterministic() (exact statevector, density matrix), since
+//     memoising sampled results would silently change their statistics.
+//   * In-flight duplicate folding: when the executing replica is
+//     deterministic, bitwise-identical bindings queued into the same
+//     batch execute ONCE and the result fans out to every waiting
+//     future (the result cache only folds *across* batches). Folded
+//     jobs complete normally and count cache-style in metrics
+//     (MetricsSnapshot::folded_jobs); they never reach the backend and
+//     therefore never count as inferences.
+//   * Admission control: ServeOptions::max_queue bounds the number of
+//     admitted-but-unfinished jobs. At the bound, submit either blocks
+//     until capacity frees (OverloadPolicy::Block) or sheds the job --
+//     the returned future fails with serve::QueueFullError
+//     (OverloadPolicy::Shed) so overload is a distinct, typed signal.
 //   * Service metrics (queue depth, batch occupancy, flush causes,
-//     p50/p99 latency, throughput) are exposed as a plain struct.
+//     p50/p99 latency, throughput) are exposed as a plain struct, with
+//     per-replica occupancy, flush-cause and routing counters so a
+//     cold replica is visible instead of averaged away.
 //
 // Determinism contract: a served result is bit-identical to the same
 // evaluation submitted directly to the backend, and independent of how
-// the coalescer happened to group it. Exact backends are pure functions
-// of the bindings, so this is automatic. Stochastic backends draw from
+// the coalescer happened to group it, how many replicas the pool holds
+// and where routing placed it. Exact backends are pure functions of
+// the bindings, so this is automatic. Stochastic backends draw from
 // a PRNG stream pinned AT SUBMISSION via Evaluation::rng_stream =
 // client_stream(client id, per-client sequence number) -- a pure
 // function of who submitted and their submission count, never of batch
-// composition, arrival interleaving or thread scheduling. Direct
-// run_batch calls carrying the same explicit streams reproduce served
-// results bit-for-bit (tests/test_serve.cpp asserts both properties).
+// composition, arrival interleaving, thread scheduling or replica
+// placement (homogeneous replicas share the configured seed, and the
+// stream derivation is a pure function of seed and stream id; see
+// Backend::clone_replica). Direct run_batch calls carrying the same
+// explicit streams reproduce served results bit-for-bit
+// (tests/test_serve.cpp and tests/test_serve_sharded.cpp assert all of
+// these properties). Heterogeneous pools (distinct devices) trade this
+// replica-count invariance for capacity: a structure's results then
+// depend on which replica it was assigned to, but structure affinity
+// keeps the assignment sticky for the session lifetime, so repeat
+// submissions of one structure are self-consistent.
 //
-// Inference accounting: every job that reaches the backend counts
+// Inference accounting: every job that reaches a backend counts
 // exactly once through the normal run_batch / expect_batch accounting
-// (see Backend::inference_count). Result-cache hits never execute and
-// therefore never count.
+// (see Backend::inference_count), on the replica that executed it.
+// Result-cache hits and folded duplicates never execute and therefore
+// never count.
 
 #include <chrono>
 #include <cstddef>
@@ -51,6 +82,8 @@
 #include <future>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -69,7 +102,70 @@ struct ObservableEntry;
 struct SessionState;
 }  // namespace detail
 
-/// Coalescing and caching policy of a ServeSession.
+/// The error a shed job's future fails with when the session is over
+/// its admission bound under OverloadPolicy::Shed. A distinct type so
+/// callers can tell overload (retry later, back off) apart from a
+/// backend execution failure.
+struct QueueFullError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// What submit does when the session already holds
+/// ServeOptions::max_queue admitted-but-unfinished jobs.
+enum class OverloadPolicy {
+  /// Block the submitting thread until capacity frees (or the session
+  /// shuts down, which throws like any post-shutdown submit).
+  Block,
+  /// Admit nothing: return a future that fails with QueueFullError.
+  Shed,
+};
+
+/// The execution substrate a ServeSession drains into: N backend
+/// replicas, each with its own drain lane. Move-only; the session takes
+/// the pool by value. Two shapes:
+///
+///   * Homogeneous: a primary backend plus replicas-1 fresh clones
+///     (Backend::clone_replica) sharing its configuration and seed.
+///     Pinned-stream results are bit-identical on every replica, so
+///     served results are invariant to replica count and routing.
+///   * Heterogeneous: an explicit list of caller-owned backends
+///     (distinct devices, mixed fidelities). Routing decides which
+///     device serves which structure; structure affinity keeps that
+///     assignment sticky.
+class BackendPool {
+ public:
+  BackendPool() = default;
+  /// `primary` plus replicas-1 clone_replica() copies (total size ==
+  /// replicas). The primary stays caller-owned (a pool of one never
+  /// clones, preserving the single-backend ServeSession behaviour);
+  /// throws std::invalid_argument when replicas == 0 or the backend
+  /// cannot clone itself.
+  explicit BackendPool(backend::Backend& primary, std::size_t replicas = 1);
+  /// Heterogeneous pool of caller-owned replicas (all must outlive the
+  /// pool). Throws std::invalid_argument on an empty or null-holding
+  /// list.
+  explicit BackendPool(std::vector<backend::Backend*> replicas);
+
+  BackendPool(BackendPool&&) = default;
+  BackendPool& operator=(BackendPool&&) = default;
+  BackendPool(const BackendPool&) = delete;
+  BackendPool& operator=(const BackendPool&) = delete;
+
+  std::size_t size() const { return replicas_.size(); }
+  backend::Backend& replica(std::size_t i) const { return *replicas_.at(i); }
+  /// All replicas deterministic: the pool-level gate for the result
+  /// cache (folding gates on the *executing* replica instead).
+  bool deterministic() const;
+  /// Sum of every replica's inference count -- the pool-level view of
+  /// the Backend accounting contract (clones count independently).
+  std::uint64_t total_inference_count() const;
+
+ private:
+  std::vector<backend::Backend*> replicas_;
+  std::vector<std::unique_ptr<backend::Backend>> owned_;  // clones only
+};
+
+/// Coalescing, caching and admission policy of a ServeSession.
 struct ServeOptions {
   /// A structure group is drained as soon as it holds this many jobs.
   std::size_t max_batch = 256;
@@ -78,34 +174,74 @@ struct ServeOptions {
   /// coalesce more under sparse traffic but add tail latency.
   std::chrono::microseconds max_delay{200};
   /// Worker threads per drain call (passed to run_batch / expect_batch
-  /// after capping at what the shared pool can actually supply);
+  /// after capping at an equal share of what the shared pool can
+  /// actually supply across concurrently-draining replica lanes);
   /// 0 = one per hardware core.
   unsigned exec_threads = 0;
   /// Result-cache capacity in entries; 0 disables the cache. The cache
-  /// only ever activates when the backend reports deterministic().
+  /// only ever activates when every pool replica is deterministic().
   std::size_t result_cache_capacity = 0;
+  /// Admission bound: maximum jobs admitted but not yet completed
+  /// (queued in buckets + routed to lanes + executing). 0 = unbounded
+  /// (the PR 4 behaviour). Result-cache hits complete inline and are
+  /// never counted against the bound.
+  std::size_t max_queue = 0;
+  /// What happens to a submit at the bound.
+  OverloadPolicy overload = OverloadPolicy::Block;
+  /// Fold bitwise-identical bindings within one batch into a single
+  /// execution when the executing replica is deterministic(). Purely a
+  /// throughput knob: results are unchanged (and stochastic replicas
+  /// never fold -- distinct jobs own distinct pinned streams).
+  bool fold_duplicates = true;
+};
+
+/// Per-replica slice of the service counters: occupancy and flush
+/// causes are attributed to the replica whose lane drained the batch,
+/// so a cold replica shows up as zeros instead of being averaged into
+/// the aggregate.
+struct ReplicaMetrics {
+  std::string backend_name;
+  std::uint64_t batches = 0;          // drain calls this replica executed
+  std::uint64_t coalesced_jobs = 0;   // jobs drained (incl. folded)
+  std::uint64_t executed_jobs = 0;    // evaluations actually run (folds excluded)
+  std::uint64_t size_flushes = 0;     // this replica's drains by max_batch
+  std::uint64_t deadline_flushes = 0; //   ... by max_delay
+  std::uint64_t affinity_routes = 0;  // batches routed by sticky structure affinity
+  std::uint64_t assigned_structures = 0;  // structures first placed here
+  std::size_t inflight_jobs = 0;      // routed to this lane, not yet completed
+  double mean_batch_occupancy = 0.0;  // coalesced_jobs / batches
 };
 
 /// Point-in-time service counters. Latency percentiles are computed
 /// over a sliding window of the most recent completions (cache hits
-/// included -- they are served requests too).
+/// included -- they are served requests too). Aggregate batch/flush
+/// counters are the sums of the per-replica slices.
 struct MetricsSnapshot {
   std::uint64_t submitted = 0;        // jobs accepted (incl. cache hits)
   std::uint64_t completed = 0;        // futures fulfilled with a value
   std::uint64_t failed = 0;           // futures fulfilled with an exception
   std::uint64_t cache_hits = 0;       // served without touching the backend
-  std::uint64_t batches = 0;          // backend drain calls issued
+  std::uint64_t folded_jobs = 0;      // served from a batch-mate's result
+  std::uint64_t shed_jobs = 0;        // rejected with QueueFullError
+  std::uint64_t batches = 0;          // backend drain calls completed
   std::uint64_t coalesced_jobs = 0;   // jobs drained through those calls
-  std::uint64_t size_flushes = 0;     // drains triggered by max_batch
-  std::uint64_t deadline_flushes = 0; // drains triggered by max_delay
-  std::size_t queue_depth = 0;        // jobs queued right now
+  std::uint64_t size_flushes = 0;     // completed drains triggered by max_batch
+  std::uint64_t deadline_flushes = 0; //   ... by max_delay (batch and flush
+                                      //   counters commit when a batch
+                                      //   finishes, not when it is routed --
+                                      //   a batch queued behind a busy
+                                      //   replica shows up in in_flight)
+  std::size_t queue_depth = 0;        // jobs coalescing in buckets right now
   std::size_t peak_queue_depth = 0;
+  std::size_t in_flight = 0;          // admitted, not yet completed (the
+                                      //   quantity max_queue bounds)
   double mean_batch_occupancy = 0.0;  // coalesced_jobs / batches
   double p50_latency_us = 0.0;        // submit -> future fulfilled
   double p99_latency_us = 0.0;
   double throughput_per_s = 0.0;      // completed / session lifetime
   unsigned pool_workers = 0;          // common::ThreadPool::global() view
   std::size_t pool_pending = 0;       //   at snapshot time
+  std::vector<ReplicaMetrics> replicas;  // one slice per pool replica
 };
 
 /// Ref-counted handle to a circuit compiled once inside a session's
@@ -200,12 +336,19 @@ class Client {
 
 class ServeSession {
  public:
-  /// The backend must outlive the session. The session's dispatcher
-  /// thread starts immediately.
-  explicit ServeSession(backend::Backend& backend, ServeOptions options = {});
+  /// Single-replica convenience: wraps `backend` in a pool of one (no
+  /// clone -- the caller's backend executes every job, exactly the
+  /// PR 4 behaviour). The backend must outlive the session.
+  explicit ServeSession(backend::Backend& backend, ServeOptions options = {})
+      : ServeSession(BackendPool(backend, 1), options) {}
+
+  /// Sharded session: takes ownership of the pool; the dispatcher and
+  /// one drain-lane thread per replica start immediately. Caller-owned
+  /// replicas inside the pool must outlive the session.
+  explicit ServeSession(BackendPool pool, ServeOptions options = {});
 
   /// Drains every queued job (fulfilling all futures), then joins the
-  /// dispatcher. Equivalent to shutdown().
+  /// dispatcher and every drain lane. Equivalent to shutdown().
   ~ServeSession();
 
   ServeSession(const ServeSession&) = delete;
@@ -225,16 +368,21 @@ class ServeSession {
   /// assignment reproducible across runs.
   Client client();
 
-  /// Stop accepting submissions, run every queued job to completion
-  /// (deadlines are ignored; remaining groups drain immediately), and
-  /// join the dispatcher. Idempotent. Futures already handed out stay
-  /// valid after the session is destroyed.
+  /// Stop accepting submissions (blocked submitters wake and throw),
+  /// run every queued job to completion (deadlines are ignored;
+  /// remaining groups drain immediately through their routed lanes),
+  /// and join the dispatcher and every lane. Idempotent. Futures
+  /// already handed out stay valid after the session is destroyed.
   void shutdown();
 
   MetricsSnapshot metrics() const;
 
   const ServeOptions& options() const { return options_; }
-  backend::Backend& backend() { return backend_; }
+  /// The pool this session drains into.
+  const BackendPool& pool() const;
+  /// Replica 0 (the primary of a single-backend session); kept for
+  /// source compatibility with the pre-pool API.
+  backend::Backend& backend() { return pool().replica(0); }
 
   /// The PRNG stream id pinned to client `client`'s `seq`-th job (top
   /// bit set, keeping the space disjoint from backend-internal auto
@@ -262,7 +410,6 @@ class ServeSession {
                                     std::span<const double> theta,
                                     std::span<const double> input);
 
-  backend::Backend& backend_;
   ServeOptions options_;
   std::shared_ptr<detail::SessionState> state_;
 };

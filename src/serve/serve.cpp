@@ -129,26 +129,76 @@ struct CacheEntry {
   double expect_result = 0.0;
 };
 
+/// Why the dispatcher flushed a batch; carried to the lane so batch and
+/// flush-cause counters commit at completion (a routed-but-queued batch
+/// must not inflate a replica's occupancy before it executed).
+enum class FlushCause { kSize, kDeadline, kShutdown };
+
+/// One coalesced batch handed from the dispatcher to a replica's drain
+/// lane: everything the lane needs to execute, account and fulfil it.
+struct ReadyBatch {
+  std::shared_ptr<const CircuitEntry> circuit;
+  std::shared_ptr<const ObservableEntry> observable;  // null for run jobs
+  std::vector<Job> jobs;
+  FlushCause cause = FlushCause::kDeadline;
+};
+
+/// One replica's drain lane: a worker thread pulling routed batches off
+/// a private queue, so batches execute concurrently across replicas.
+/// `inflight_jobs` (atomic: read lock-free by the routing pass and by
+/// metrics) counts jobs routed here but not yet completed -- the
+/// least-queued-work signal. The plain counters are guarded by the
+/// session mutex: the routing counters are written by the dispatcher
+/// at routing time, everything else by the lane at completion.
+struct ReplicaLane {
+  backend::Backend* replica = nullptr;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<ReadyBatch> queue;
+  bool stop = false;
+  std::thread worker;
+  std::atomic<std::size_t> inflight_jobs{0};
+
+  std::uint64_t batches = 0, coalesced_jobs = 0, executed_jobs = 0;
+  std::uint64_t size_flushes = 0, deadline_flushes = 0;
+  std::uint64_t affinity_routes = 0, assigned_structures = 0;
+};
+
 struct SessionState {
-  backend::Backend& backend;
+  const BackendPool pool;
   const ServeOptions options;
   const bool cache_enabled;
+  const bool fold_possible;  // any replica could fold duplicates
   const Clock::time_point started = Clock::now();
 
   // ---- job queue + metrics (mutex) ----
   mutable std::mutex mutex;
-  std::condition_variable cv;
+  std::condition_variable cv;        // wakes the dispatcher
+  std::condition_variable space_cv;  // wakes blocked submitters
   bool stop = false;
   std::map<std::pair<std::uint64_t, std::uint64_t>, Bucket> buckets;
-  std::size_t total_queued = 0;
+  std::size_t total_queued = 0;  // jobs coalescing in buckets
+  std::size_t in_flight = 0;     // admitted jobs not yet fulfilled
+                                 //   (buckets + lanes + executing);
+                                 //   the quantity max_queue bounds
+
+  // Sticky structure -> replica assignment (outlives the buckets, which
+  // are erased when drained: affinity must survive sparse traffic or
+  // the per-replica transpile/pattern caches go cold on every flush).
+  std::unordered_map<std::uint64_t, std::size_t> structure_affinity;
 
   std::uint64_t submitted = 0, completed = 0, failed = 0, cache_hits = 0;
+  std::uint64_t folded_jobs = 0, shed_jobs = 0;
   std::uint64_t batches = 0, coalesced_jobs = 0;
   std::uint64_t size_flushes = 0, deadline_flushes = 0;
   std::size_t peak_queue_depth = 0;
   static constexpr std::size_t kLatencyWindow = 8192;
   std::vector<double> latency_us = std::vector<double>(kLatencyWindow, 0.0);
   std::size_t latency_pos = 0;
+
+  // ---- per-replica drain lanes ----
+  std::vector<std::unique_ptr<ReplicaLane>> lanes;
+  std::atomic<unsigned> active_drains{0};  // lanes inside a backend call
 
   // ---- circuit / observable registry (registry_mutex) ----
   std::mutex registry_mutex;
@@ -173,20 +223,35 @@ struct SessionState {
   std::mutex join_mutex;
   std::thread dispatcher;
 
-  SessionState(backend::Backend& b, ServeOptions o)
-      : backend(b),
-        options(o),
-        cache_enabled(o.result_cache_capacity > 0 && b.deterministic()) {}
+  static bool any_replica_deterministic(const BackendPool& p) {
+    for (std::size_t i = 0; i < p.size(); ++i)
+      if (p.replica(i).deterministic()) return true;
+    return false;
+  }
 
-  // Drain concurrency: the requested fan-out, capped at what the shared
-  // pool can actually supply right now (workers + the dispatcher
-  // itself). Thread count never affects results (the run_batch
-  // determinism contract), so reading a stale snapshot is harmless.
-  unsigned drain_threads() const {
-    unsigned t = options.exec_threads == 0 ? hardware_threads()
-                                           : options.exec_threads;
-    const auto pool = common::ThreadPool::global().stats();
-    return std::min<unsigned>(t, pool.workers + 1);
+  SessionState(BackendPool p, ServeOptions o)
+      : pool(std::move(p)),
+        options(o),
+        cache_enabled(o.result_cache_capacity > 0 && pool.deterministic()),
+        fold_possible(o.fold_duplicates && any_replica_deterministic(pool)) {
+    lanes.reserve(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      lanes.push_back(std::make_unique<ReplicaLane>());
+      lanes.back()->replica = &pool.replica(i);
+    }
+  }
+
+  // Drain concurrency: the requested fan-out, capped at a fair share of
+  // what the shared thread pool can actually supply across every lane
+  // currently inside a backend call (each lane's own thread counts as
+  // one unit of supply). Thread count never affects results (the
+  // run_batch determinism contract), so reading stale occupancy is
+  // harmless.
+  unsigned drain_threads(unsigned drains_now) const {
+    const unsigned requested = options.exec_threads == 0
+                                   ? hardware_threads()
+                                   : options.exec_threads;
+    return common::ThreadPool::global().fair_share(requested, drains_now);
   }
 
   void record_latency(Clock::time_point enqueued, Clock::time_point now) {
@@ -258,17 +323,102 @@ struct SessionState {
     return out;
   }
 
-  /// Run one coalesced batch through the backend and fulfil every
-  /// promise. Called by the dispatcher with `mutex` released.
-  void execute(const std::shared_ptr<const CircuitEntry>& circuit,
-               const std::shared_ptr<const ObservableEntry>& observable,
-               std::vector<Job> batch) {
+  /// Commits one drained batch to the aggregate and per-replica batch /
+  /// occupancy / flush-cause counters. Called by the lane at completion
+  /// (success or failure) -- never at routing time, so a batch queued
+  /// behind a busy replica is not reported as executed. Caller holds
+  /// `mutex`.
+  void commit_batch_locked(ReplicaLane& lane, FlushCause cause,
+                           std::size_t jobs) {
+    ++batches;
+    ++lane.batches;
+    coalesced_jobs += jobs;
+    lane.coalesced_jobs += jobs;
+    switch (cause) {
+      case FlushCause::kSize:
+        ++size_flushes;
+        ++lane.size_flushes;
+        break;
+      case FlushCause::kDeadline:
+        ++deadline_flushes;
+        ++lane.deadline_flushes;
+        break;
+      case FlushCause::kShutdown:
+        break;
+    }
+  }
+
+  /// Occupies one drain slot for the lifetime of a backend call, so
+  /// fair_share sees how many lanes compete for the shared thread pool
+  /// no matter how the call exits.
+  struct DrainSlot {
+    std::atomic<unsigned>& drains;
+    const unsigned now;  // count including this slot
+    explicit DrainSlot(std::atomic<unsigned>& d)
+        : drains(d),
+          now(d.fetch_add(1, std::memory_order_relaxed) + 1) {}
+    ~DrainSlot() { drains.fetch_sub(1, std::memory_order_relaxed); }
+  };
+
+  /// Run one coalesced batch through `lane`'s replica and fulfil every
+  /// promise. Called by the lane's worker thread with no lock held.
+  void execute(ReplicaLane& lane, ReadyBatch ready) {
+    const auto& circuit = ready.circuit;
+    const auto& observable = ready.observable;
+    std::vector<Job>& batch = ready.jobs;
+
+    // In-flight duplicate folding: on a deterministic replica,
+    // bitwise-identical bindings in this batch collapse to one
+    // evaluation whose result fans out to every duplicate. Stochastic
+    // replicas never fold -- each job owns a distinct pinned PRNG
+    // stream, so duplicates are distinct draws by contract. eval_of[i]
+    // maps job i to its evaluation; leaders[e] is the job that
+    // contributed evaluation e.
+    const bool fold =
+        fold_possible && batch.size() > 1 && lane.replica->deterministic();
+    std::vector<std::size_t> eval_of(batch.size());
+    std::vector<std::size_t> leaders;
+    leaders.reserve(batch.size());
+    if (fold) {
+      // Group by the bitwise binding hash -- the job's cache key when
+      // the cache is enabled, computed here otherwise so the submit
+      // hot path never pays for hashing it may not need.
+      const std::uint64_t obs_id = observable == nullptr ? 0 : observable->id;
+      std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const std::uint64_t h =
+            cache_enabled ? batch[i].key_hash
+                          : binding_hash(circuit->id, obs_id, batch[i].theta,
+                                         batch[i].input);
+        auto& mates = groups[h];
+        std::size_t found = static_cast<std::size_t>(-1);
+        for (const std::size_t j : mates) {
+          if (spans_equal_bitwise(batch[j].theta, batch[i].theta) &&
+              spans_equal_bitwise(batch[j].input, batch[i].input)) {
+            found = eval_of[j];
+            break;
+          }
+        }
+        if (found == static_cast<std::size_t>(-1)) {
+          eval_of[i] = leaders.size();
+          leaders.push_back(i);
+          mates.push_back(i);
+        } else {
+          eval_of[i] = found;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        eval_of[i] = i;
+        leaders.push_back(i);
+      }
+    }
+
     std::vector<exec::Evaluation> evals;
-    evals.reserve(batch.size());
-    for (const Job& j : batch)
-      evals.push_back({j.theta, j.input, exec::Evaluation::kNoShift, 0.0,
-                       j.stream});
-    const unsigned threads = drain_threads();
+    evals.reserve(leaders.size());
+    for (const std::size_t i : leaders)
+      evals.push_back({batch[i].theta, batch[i].input,
+                       exec::Evaluation::kNoShift, 0.0, batch[i].stream});
 
     // Only the backend call itself can fail a job. Counters and
     // latencies are committed BEFORE any promise is fulfilled, so a
@@ -280,18 +430,23 @@ struct SessionState {
     std::vector<std::vector<double>> run_results;
     std::vector<double> expect_results;
     try {
+      const DrainSlot slot(active_drains);
+      const unsigned threads = drain_threads(slot.now);
       if (observable == nullptr)
-        run_results = backend.run_batch(circuit->plan, evals, threads);
+        run_results = lane.replica->run_batch(circuit->plan, evals, threads);
       else
-        expect_results = backend.expect_batch(circuit->plan,
-                                              observable->observable, evals,
-                                              threads);
+        expect_results = lane.replica->expect_batch(
+            circuit->plan, observable->observable, evals, threads);
     } catch (...) {
       const auto error = std::current_exception();
       {
         const std::lock_guard<std::mutex> lock(mutex);
+        commit_batch_locked(lane, ready.cause, batch.size());
         failed += batch.size();
+        in_flight -= batch.size();
       }
+      lane.inflight_jobs.fetch_sub(batch.size(), std::memory_order_relaxed);
+      space_cv.notify_all();
       for (Job& j : batch) {
         if (j.is_expect)
           j.expect_promise.set_exception(error);
@@ -304,33 +459,106 @@ struct SessionState {
     {
       const auto now = Clock::now();
       const std::lock_guard<std::mutex> lock(mutex);
+      commit_batch_locked(lane, ready.cause, batch.size());
       completed += batch.size();
+      folded_jobs += batch.size() - leaders.size();
+      lane.executed_jobs += leaders.size();
+      in_flight -= batch.size();
       for (const Job& j : batch) record_latency(j.enqueued, now);
     }
-    for (std::size_t k = 0; k < batch.size(); ++k) {
-      if (cache_enabled) {
+    lane.inflight_jobs.fetch_sub(batch.size(), std::memory_order_relaxed);
+    space_cv.notify_all();
+
+    if (cache_enabled) {
+      for (const std::size_t i : leaders) {
+        const std::size_t e = eval_of[i];
         try {
           if (observable == nullptr)
-            cache_insert({batch[k].key_hash, circuit->id, 0, batch[k].theta,
-                          batch[k].input, false, run_results[k], 0.0});
+            cache_insert({batch[i].key_hash, circuit->id, 0, batch[i].theta,
+                          batch[i].input, false, run_results[e], 0.0});
           else
-            cache_insert({batch[k].key_hash, circuit->id, observable->id,
-                          batch[k].theta, batch[k].input, true, {},
-                          expect_results[k]});
+            cache_insert({batch[i].key_hash, circuit->id, observable->id,
+                          batch[i].theta, batch[i].input, true, {},
+                          expect_results[e]});
         } catch (...) {
         }
       }
-      if (observable == nullptr)
-        batch[k].run_promise.set_value(std::move(run_results[k]));
-      else
-        batch[k].expect_promise.set_value(expect_results[k]);
+    }
+
+    // Fulfil duplicates with copies; the last job referencing an
+    // evaluation takes the result by move (the common unfolded case
+    // moves every result exactly as before).
+    std::vector<std::size_t> last_user(leaders.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) last_user[eval_of[i]] = i;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::size_t e = eval_of[i];
+      if (observable == nullptr) {
+        if (last_user[e] == i)
+          batch[i].run_promise.set_value(std::move(run_results[e]));
+        else
+          batch[i].run_promise.set_value(run_results[e]);
+      } else {
+        batch[i].expect_promise.set_value(expect_results[e]);
+      }
     }
   }
 
+  /// Lane worker: pull routed batches off this replica's queue and
+  /// execute them. Exits once stop is set AND the queue is drained --
+  /// shutdown sets lane stops only after the dispatcher has routed
+  /// every remaining job, so no future is ever abandoned.
+  void lane_loop(ReplicaLane& lane) {
+    std::unique_lock<std::mutex> lock(lane.mutex);
+    for (;;) {
+      if (lane.queue.empty()) {
+        if (lane.stop) return;
+        lane.cv.wait(lock);
+        continue;
+      }
+      ReadyBatch batch = std::move(lane.queue.front());
+      lane.queue.pop_front();
+      lock.unlock();
+      execute(lane, std::move(batch));
+      lock.lock();
+    }
+  }
+
+  /// Pick the lane for a flushed batch of `circuit_id`. Structure
+  /// affinity first: a structure that has routed before goes back to
+  /// its replica, keeping that replica's transpile / lowered-pattern
+  /// caches hot. New structures are placed on the lane with the least
+  /// in-flight work (ties break to the lowest index, so single-replica
+  /// sessions and idle pools route deterministically). Caller holds
+  /// `mutex`.
+  ReplicaLane& route_locked(std::uint64_t circuit_id, bool& was_affinity) {
+    const auto it = structure_affinity.find(circuit_id);
+    if (it != structure_affinity.end()) {
+      was_affinity = true;
+      return *lanes[it->second];
+    }
+    std::size_t best = 0;
+    std::size_t best_load =
+        lanes[0]->inflight_jobs.load(std::memory_order_relaxed);
+    for (std::size_t i = 1; i < lanes.size(); ++i) {
+      const std::size_t load =
+          lanes[i]->inflight_jobs.load(std::memory_order_relaxed);
+      if (load < best_load) {
+        best = i;
+        best_load = load;
+      }
+    }
+    structure_affinity.emplace(circuit_id, best);
+    was_affinity = false;
+    return *lanes[best];
+  }
+
   /// Coalescer loop: wait until some bucket is full (size flush) or its
-  /// oldest job's deadline passed (deadline flush), drain it through one
-  /// backend call, repeat. After stop() every remaining job drains
-  /// immediately, so shutdown never abandons a future.
+  /// oldest job's deadline passed (deadline flush), extract one batch
+  /// and route it to a replica's drain lane, repeat. Execution happens
+  /// on the lane threads, so flush decisions never wait on a backend
+  /// call and batches for different replicas run concurrently. After
+  /// stop() every remaining job routes immediately, so shutdown never
+  /// abandons a future.
   void dispatcher_loop() {
     std::unique_lock<std::mutex> lock(mutex);
     for (;;) {
@@ -375,21 +603,70 @@ struct SessionState {
       const auto observable = bucket.observable;
       std::vector<Job> batch = extract_locked(bucket, options.max_batch);
       if (bucket.size == 0) buckets.erase(pick);
-      ++batches;
-      coalesced_jobs += batch.size();
-      if (by_size)
-        ++size_flushes;
-      else if (!stop)
-        ++deadline_flushes;
 
-      lock.unlock();
-      execute(circuit, observable, std::move(batch));
-      lock.lock();
+      bool was_affinity = false;
+      ReplicaLane& lane = route_locked(circuit->id, was_affinity);
+      if (was_affinity)
+        ++lane.affinity_routes;
+      else
+        ++lane.assigned_structures;
+      const FlushCause cause = by_size   ? FlushCause::kSize
+                               : !stop   ? FlushCause::kDeadline
+                                         : FlushCause::kShutdown;
+      lane.inflight_jobs.fetch_add(batch.size(), std::memory_order_relaxed);
+      {
+        // Lock order session mutex -> lane mutex, everywhere: lanes
+        // only take the session mutex with their own mutex released.
+        const std::lock_guard<std::mutex> lane_lock(lane.mutex);
+        lane.queue.push_back(
+            ReadyBatch{circuit, observable, std::move(batch), cause});
+      }
+      lane.cv.notify_one();
     }
   }
 };
 
 }  // namespace detail
+
+// ---------------------------------------------------------------------------
+// BackendPool
+// ---------------------------------------------------------------------------
+
+BackendPool::BackendPool(backend::Backend& primary, std::size_t replicas) {
+  if (replicas == 0)
+    throw std::invalid_argument("BackendPool: replicas == 0");
+  replicas_.reserve(replicas);
+  replicas_.push_back(&primary);
+  for (std::size_t i = 1; i < replicas; ++i) {
+    auto clone = primary.clone_replica();
+    if (clone == nullptr)
+      throw std::invalid_argument("BackendPool: backend '" + primary.name() +
+                                  "' does not support clone_replica()");
+    replicas_.push_back(clone.get());
+    owned_.push_back(std::move(clone));
+  }
+}
+
+BackendPool::BackendPool(std::vector<backend::Backend*> replicas)
+    : replicas_(std::move(replicas)) {
+  if (replicas_.empty())
+    throw std::invalid_argument("BackendPool: empty replica list");
+  for (const auto* b : replicas_)
+    if (b == nullptr)
+      throw std::invalid_argument("BackendPool: null replica");
+}
+
+bool BackendPool::deterministic() const {
+  for (const auto* b : replicas_)
+    if (!b->deterministic()) return false;
+  return !replicas_.empty();
+}
+
+std::uint64_t BackendPool::total_inference_count() const {
+  std::uint64_t total = 0;
+  for (const auto* b : replicas_) total += b->inference_count();
+  return total;
+}
 
 // ---------------------------------------------------------------------------
 // Handles
@@ -440,18 +717,25 @@ std::future<double> Client::submit_expect(const CircuitHandle& circuit,
 // ServeSession
 // ---------------------------------------------------------------------------
 
-ServeSession::ServeSession(backend::Backend& backend, ServeOptions options)
-    : backend_(backend), options_(options) {
+ServeSession::ServeSession(BackendPool pool, ServeOptions options)
+    : options_(options) {
+  if (pool.size() == 0)
+    throw std::invalid_argument("ServeSession: empty BackendPool");
   if (options_.max_batch == 0)
     throw std::invalid_argument("ServeSession: max_batch == 0");
   if (options_.max_delay.count() < 0)
     throw std::invalid_argument("ServeSession: negative max_delay");
-  state_ = std::make_shared<detail::SessionState>(backend_, options_);
+  state_ = std::make_shared<detail::SessionState>(std::move(pool), options_);
   state_->dispatcher =
       std::thread([s = state_.get()] { s->dispatcher_loop(); });
+  for (auto& lane : state_->lanes)
+    lane->worker = std::thread(
+        [s = state_.get(), l = lane.get()] { s->lane_loop(*l); });
 }
 
 ServeSession::~ServeSession() { shutdown(); }
+
+const BackendPool& ServeSession::pool() const { return state_->pool; }
 
 void ServeSession::shutdown() {
   {
@@ -459,8 +743,21 @@ void ServeSession::shutdown() {
     state_->stop = true;
   }
   state_->cv.notify_all();
+  state_->space_cv.notify_all();
   const std::lock_guard<std::mutex> lock(state_->join_mutex);
+  // Join order is the drain order: the dispatcher first (it routes
+  // every remaining bucket to a lane before exiting), then the lanes
+  // (each drains its queue before honouring stop).
   if (state_->dispatcher.joinable()) state_->dispatcher.join();
+  for (auto& lane : state_->lanes) {
+    {
+      const std::lock_guard<std::mutex> lane_lock(lane->mutex);
+      lane->stop = true;
+    }
+    lane->cv.notify_all();
+  }
+  for (auto& lane : state_->lanes)
+    if (lane->worker.joinable()) lane->worker.join();
 }
 
 CircuitHandle ServeSession::register_circuit(const circuit::Circuit& c,
@@ -544,6 +841,9 @@ std::future<Result> submit_impl(
   const auto now = detail::Clock::now();
   const std::uint64_t stream = ServeSession::client_stream(client_id, seq);
   const std::uint64_t obs_id = kExpect ? observable->id : 0;
+  // Hashed only for the cache probe: the duplicate-folding identity is
+  // the same hash, but lanes compute it at grouping time so the submit
+  // hot path never pays for it when the cache is off.
   const std::uint64_t key_hash =
       s->cache_enabled
           ? detail::binding_hash(circuit->id, obs_id, theta, input)
@@ -594,8 +894,28 @@ std::future<Result> submit_impl(
   }();
 
   {
-    const std::lock_guard<std::mutex> lock(s->mutex);
+    std::unique_lock<std::mutex> lock(s->mutex);
     if (s->stop) throw std::runtime_error("ServeSession: shut down");
+    // Admission control: `in_flight` counts every admitted job until
+    // its future is fulfilled (coalescing, routed to a lane, or
+    // executing), so the bound caps the whole backlog, not just the
+    // buckets the dispatcher has not flushed yet.
+    if (s->options.max_queue > 0 && s->in_flight >= s->options.max_queue) {
+      if (s->options.overload == OverloadPolicy::Shed) {
+        ++s->shed_jobs;
+        lock.unlock();
+        std::promise<Result> p;
+        auto rejected = p.get_future();
+        p.set_exception(std::make_exception_ptr(QueueFullError(
+            "ServeSession: queue full (max_queue reached), job shed")));
+        return rejected;
+      }
+      s->space_cv.wait(lock, [s] {
+        return s->stop || s->in_flight < s->options.max_queue;
+      });
+      if (s->stop) throw std::runtime_error("ServeSession: shut down");
+    }
+    ++s->in_flight;
     auto& bucket = s->buckets[{circuit->id, obs_id}];
     if (bucket.circuit == nullptr) {
       bucket.circuit = circuit;
@@ -654,12 +974,33 @@ MetricsSnapshot ServeSession::metrics() const {
     m.completed = s->completed;
     m.failed = s->failed;
     m.cache_hits = s->cache_hits;
+    m.folded_jobs = s->folded_jobs;
+    m.shed_jobs = s->shed_jobs;
     m.batches = s->batches;
     m.coalesced_jobs = s->coalesced_jobs;
     m.size_flushes = s->size_flushes;
     m.deadline_flushes = s->deadline_flushes;
     m.queue_depth = s->total_queued;
     m.peak_queue_depth = s->peak_queue_depth;
+    m.in_flight = s->in_flight;
+    m.replicas.reserve(s->lanes.size());
+    for (const auto& lane : s->lanes) {
+      ReplicaMetrics r;
+      r.backend_name = lane->replica->name();
+      r.batches = lane->batches;
+      r.coalesced_jobs = lane->coalesced_jobs;
+      r.executed_jobs = lane->executed_jobs;
+      r.size_flushes = lane->size_flushes;
+      r.deadline_flushes = lane->deadline_flushes;
+      r.affinity_routes = lane->affinity_routes;
+      r.assigned_structures = lane->assigned_structures;
+      r.inflight_jobs =
+          lane->inflight_jobs.load(std::memory_order_relaxed);
+      if (r.batches > 0)
+        r.mean_batch_occupancy = static_cast<double>(r.coalesced_jobs) /
+                                 static_cast<double>(r.batches);
+      m.replicas.push_back(std::move(r));
+    }
     const std::size_t filled =
         std::min(s->latency_pos, detail::SessionState::kLatencyWindow);
     window.assign(s->latency_us.begin(),

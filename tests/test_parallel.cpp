@@ -58,6 +58,19 @@ TEST(ThreadPool, StatsReportWorkersAndPendingTickets) {
   EXPECT_EQ(global.workers, common::ThreadPool::global().size());
 }
 
+TEST(ThreadPool, FairShareSplitsSupplyAcrossConsumers) {
+  common::ThreadPool pool(7);  // supply for N consumers: 7 workers + N callers
+  // One consumer: the classic workers+1 cap.
+  EXPECT_EQ(pool.fair_share(64, 1), 8u);
+  EXPECT_EQ(pool.fair_share(3, 1), 3u);  // request below supply: unchanged
+  // N consumers split (workers + N) evenly, never below 1.
+  EXPECT_EQ(pool.fair_share(64, 2), 4u);   // (7 + 2) / 2
+  EXPECT_EQ(pool.fair_share(64, 4), 2u);   // (7 + 4) / 4
+  EXPECT_EQ(pool.fair_share(64, 16), 1u);  // oversubscribed: floor of 1
+  // consumers == 0 is treated as one consumer.
+  EXPECT_EQ(pool.fair_share(64, 0), 8u);
+}
+
 TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
   for (const unsigned threads : {1u, 2u, 4u, 0u}) {
     std::vector<std::atomic<int>> hits(1001);
