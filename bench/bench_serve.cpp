@@ -35,6 +35,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <chrono>
 #include <cstdint>
 #include <future>
@@ -183,6 +185,62 @@ void BM_ServeCoalesced(benchmark::State& state) {
   export_serve_counters(state, rig.session);
 }
 BENCHMARK(BM_ServeCoalesced)->Threads(1)->Threads(8)->UseRealTime();
+
+/// ServeRig variant keyed on the backend's batch_lanes knob, so the
+/// coalesced unique-binding traffic can be measured against the scalar
+/// per-evaluation path (lanes:1) and the evaluation-major k-wide path
+/// (lanes:8). Coalesced batches are full of DISTINCT bindings of one
+/// 10-qubit structure -- exactly the shape the SoA lane kernels target
+/// -- so the lanes:8 / lanes:1 ratio is the speedup the serve layer
+/// inherits for free from the backend.
+struct LaneRig {
+  circuit::Circuit qnn = make_qnn10();
+  backend::StatevectorBackend backend;
+  serve::ServeSession session;
+  serve::CircuitHandle handle;
+
+  LaneRig(int lanes, serve::ServeOptions opt)
+      : backend(backend::StatevectorBackendOptions{
+            .shots = 0, .seed = 0x51A7E7EC7ULL, .batch_lanes = lanes}),
+        session(backend, opt), handle(session.register_circuit(qnn)) {}
+};
+
+LaneRig& lane_rig_for(int lanes, int threads) {
+  static std::mutex mutex;
+  static std::map<std::pair<int, int>, std::unique_ptr<LaneRig>> rigs;
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = rigs[{lanes, threads}];
+  if (!slot) slot = std::make_unique<LaneRig>(lanes, serve_opts(0));
+  return *slot;
+}
+
+void BM_ServeDistinctBindingsLanes(benchmark::State& state) {
+  const int lanes = static_cast<int>(state.range(0));
+  auto& rig = lane_rig_for(lanes, state.threads());
+  auto client = rig.session.client();
+  std::vector<double> theta = base_theta(rig.qnn);
+  const std::vector<double> input = base_input(rig.qnn);
+  std::vector<std::future<std::vector<double>>> futures;
+  futures.reserve(kWindow);
+  std::uint64_t serial = 0;
+  for (auto _ : state) {
+    futures.clear();
+    for (std::size_t w = 0; w < kWindow; ++w) {
+      unique_binding(theta, state.thread_index(), serial++);
+      futures.push_back(client.submit(rig.handle, theta, input));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kWindow));
+  state.SetLabel(lanes == 1 ? "scalar" : "k-wide(auto)");
+  export_serve_counters(state, rig.session);
+}
+BENCHMARK(BM_ServeDistinctBindingsLanes)
+    ->Arg(1)
+    ->Arg(-1)  // -1 = cost-model auto (full-width lane groups here)
+    ->Threads(8)
+    ->UseRealTime();
 
 /// Millions-of-users traffic: clients query a shared catalog of popular
 /// bindings; the deterministic result cache absorbs repeats.
@@ -342,4 +400,4 @@ BENCHMARK(BM_ServeHotDuplicates)->Arg(0)->Arg(1)->Threads(8)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+QOC_BENCHMARK_JSON_MAIN("serve")

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "qoc/backend/backend.hpp"
 #include "qoc/circuit/circuit.hpp"
 #include "qoc/circuit/layers.hpp"
@@ -273,6 +275,48 @@ void BM_RunBatchExact(benchmark::State& state) {
 }
 BENCHMARK(BM_RunBatchExact)->Arg(16)->Arg(64)->Arg(256);
 
+void BM_RunBatchDistinctBindings(benchmark::State& state) {
+  // The evaluation-major acceptance line: 256 DISTINCT bindings of one
+  // compiled structure, scalar per-evaluation execution (lanes:1) vs
+  // the k-wide SoA lane path (lanes:-1, cost-model width: 8 lanes up
+  // to n=13, 4 at n=14 where the group outgrows the L2 budget). Same
+  // layered ansatz on range(0) qubits; the ratio at equal n is the
+  // lane-path speedup.
+  const int n = static_cast<int>(state.range(0));
+  const int lanes = static_cast<int>(state.range(1));
+  circuit::Circuit c(n);
+  for (int q = 0; q < n; ++q) c.ry(q, circuit::ParamRef::trainable(q));
+  for (int l = 0; l < 2; ++l) {
+    for (int q = 0; q < n; ++q)
+      c.rzz(q, (q + 1) % n, circuit::ParamRef::trainable((q + l) % n));
+    for (int q = 0; q < n; ++q)
+      c.ry(q, circuit::ParamRef::trainable((q + l + 1) % n));
+  }
+  const auto plan = exec::CompiledCircuit::compile(c);
+  constexpr std::size_t kBatch = 256;
+  std::vector<std::vector<double>> thetas(kBatch);
+  std::vector<exec::Evaluation> evals(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    thetas[i].resize(static_cast<std::size_t>(n));
+    for (int q = 0; q < n; ++q)
+      thetas[i][static_cast<std::size_t>(q)] =
+          0.01 * static_cast<double>(i) + 0.1 * q;
+    evals[i].theta = thetas[i];
+  }
+  backend::StatevectorBackend backend(backend::StatevectorBackendOptions{
+      .shots = 0, .seed = 1, .batch_lanes = lanes});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(backend.run_batch(plan, evals, 0));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kBatch));
+  state.SetLabel(lanes == 1 ? "scalar" : "k-wide(auto)");
+}
+BENCHMARK(BM_RunBatchDistinctBindings)
+    ->Args({10, 1})
+    ->Args({10, -1})
+    ->Args({14, 1})
+    ->Args({14, -1});
+
 void BM_TranspileWithTemplate(benchmark::State& state) {
   // Cached routing (the run_batch path) vs BM_TranspileTaskCircuit's full
   // pipeline.
@@ -349,4 +393,4 @@ BENCHMARK(BM_ImagePipeline);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+QOC_BENCHMARK_JSON_MAIN("sim_micro")

@@ -7,11 +7,14 @@
 //   QOC_BENCH_STEPS  override the per-run optimizer step count
 //   QOC_BENCH_FAST   if set (non-empty), quarter-scale everything
 
+#include <benchmark/benchmark.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "qoc/backend/backend.hpp"
@@ -22,6 +25,41 @@
 #include "qoc/train/training_engine.hpp"
 
 namespace qoc::benchutil {
+
+/// main() body for google-benchmark binaries that understand `--json`:
+/// strips the flag from argv and, when present, appends
+/// --benchmark_out=BENCH_<name>.json --benchmark_out_format=json so CI
+/// can upload machine-readable results next to the console table.
+/// Explicit --benchmark_out flags still win (later flags override).
+inline int run_benchmarks_with_json(int argc, char** argv, const char* name) {
+  std::vector<char*> args;
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json")
+      json = true;
+    else
+      args.push_back(argv[i]);
+  }
+  std::string out_flag =
+      std::string("--benchmark_out=BENCH_") + name + ".json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (json) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  args.push_back(nullptr);  // argv[argc] == nullptr, like main's argv
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+#define QOC_BENCHMARK_JSON_MAIN(name)                                   \
+  int main(int argc, char** argv) {                                     \
+    return qoc::benchutil::run_benchmarks_with_json(argc, argv, name);  \
+  }
 
 struct Task {
   std::string name;          // "MNIST-4", ...

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "qoc/backend/backend.hpp"
 #include "qoc/circuit/circuit.hpp"
 #include "qoc/common/prng.hpp"
@@ -155,4 +157,4 @@ BENCHMARK(BM_VqeStepH2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+QOC_BENCHMARK_JSON_MAIN("vqe")

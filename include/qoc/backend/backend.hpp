@@ -219,22 +219,44 @@ class Backend {
   std::size_t plan_cache_entries_ = 0;
 };
 
+/// Construction options for StatevectorBackend.
+struct StatevectorBackendOptions {
+  int shots = 0;
+  std::uint64_t seed = 0x51A7E7EC7ULL;
+  /// Evaluation-major (k-wide) lane policy for the batch paths:
+  /// -1 defers to the cost model (default), 0 or 1 forces the scalar
+  /// per-evaluation path (kill switch), >= 2 pins the lane width
+  /// (clamped even, <= 32). The QOC_BATCH_LANES environment variable
+  /// overrides this knob; see sim::batch_lane_width.
+  int batch_lanes = -1;
+};
+
 /// Noise-free statevector execution. shots == 0 means exact expectation
 /// values; shots > 0 samples the Born distribution like a real readout.
 /// Exact mode touches no shared mutable state (in particular, no RNG
 /// mutex), so batched exact runs scale linearly with threads.
+///
+/// Batches of >= k distinct bindings on small registers execute k
+/// evaluations at a time on a sim::BatchedStatevector lane group
+/// (vectorizing across bindings); the scalar path handles the tail and
+/// remains the bitwise oracle -- lane-grouped results are bit-identical
+/// to per-evaluation execution, and sampled mode draws from the same
+/// submission-order-pinned streams either way.
 class StatevectorBackend final : public Backend {
  public:
   explicit StatevectorBackend(int shots = 0,
                               std::uint64_t seed = 0x51A7E7EC7ULL);
+  explicit StatevectorBackend(const StatevectorBackendOptions& options);
 
   std::string name() const override { return "statevector"; }
   /// Exact mode (shots == 0) is a pure function of the bindings.
   bool deterministic() const override { return shots_ == 0; }
   std::unique_ptr<Backend> clone_replica() const override {
-    return std::make_unique<StatevectorBackend>(shots_, seed_);
+    return std::make_unique<StatevectorBackend>(
+        StatevectorBackendOptions{shots_, seed_, batch_lanes_});
   }
   int shots() const { return shots_; }
+  int batch_lanes() const { return batch_lanes_; }
 
  protected:
   std::vector<double> execute(const circuit::Circuit& c,
@@ -259,6 +281,7 @@ class StatevectorBackend final : public Backend {
 
   int shots_;
   std::uint64_t seed_;
+  int batch_lanes_ = -1;
   Prng rng_;
   std::mutex rng_mutex_;  // sampled mode only; exact mode never locks
 };

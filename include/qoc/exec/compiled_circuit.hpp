@@ -38,6 +38,10 @@
 #include "qoc/linalg/matrix.hpp"
 #include "qoc/sim/statevector.hpp"
 
+namespace qoc::sim {
+class BatchedStatevector;
+}
+
 namespace qoc::exec {
 
 struct CompileOptions {
@@ -172,6 +176,22 @@ class CompiledCircuit {
   /// Execute the op stream against `sv` using slot angles from
   /// resolve_slots. The statevector must have num_qubits() qubits.
   void apply(sim::Statevector& sv, std::span<const double> slot_angles) const;
+
+  /// Resolve every angle slot for a whole lane group at once:
+  /// out[slot * evals.size() + lane] (the entry-major layout the batched
+  /// kernels consume). Per-evaluation shift handling is identical to
+  /// resolve_slots, so each lane's angles are bit-identical to a scalar
+  /// resolve of that evaluation.
+  void resolve_slots_lanes(std::span<const Evaluation> evals,
+                           std::vector<double>& out) const;
+
+  /// Execute the op stream against a k-lane batched state with angles
+  /// from resolve_slots_lanes. Parameter-dependent matrices are built
+  /// once per op per lane group (k entry-major 2x2/4x4 builds amortized
+  /// over 2^n rows of kernel work); lane L's arithmetic matches apply()
+  /// on evaluation L bit-for-bit.
+  void apply_batched(sim::BatchedStatevector& sv,
+                     std::span<const double> slot_angles) const;
 
   /// Convenience: resolve + apply on a fresh |0..0> state and return
   /// <Z_q> for every qubit.

@@ -33,6 +33,10 @@
 
 #include "qoc/sim/statevector.hpp"
 
+namespace qoc::sim {
+class BatchedStatevector;
+}
+
 namespace qoc::exec {
 
 /// One Pauli-string observable term: a string over {I, X, Y, Z} with one
@@ -86,12 +90,26 @@ class CompiledObservable {
   /// vqe::Hamiltonian::expectation -- bit-identical results.
   double expectation(const sim::Statevector& psi) const;
 
+  /// Exact <psi_l|H|psi_l> for every lane of a k-wide batched state at
+  /// once: the same per-term loop as expectation(), but each term's
+  /// Pauli product is applied once per LANE GROUP instead of once per
+  /// lane. `out` must have psi.lanes() entries; lane L's accumulation
+  /// order matches expectation() on lane L's state exactly.
+  void expectation_lanes(const sim::BatchedStatevector& psi,
+                         std::span<double> out) const;
+
   /// Apply group g's basis-change suffix to `psi` (rotates every
   /// measured qubit into the Z basis). A non-empty `layout` maps each
   /// suffix qubit through layout[q] first (logical -> physical, for
   /// states held in a routed device register).
   void apply_suffix(sim::Statevector& psi, std::size_t g,
                     std::span<const int> layout = {}) const;
+
+  /// Same suffix on every lane of a batched state (one application per
+  /// lane group -- the k-wide sampled path measures each group once per
+  /// lane group, not once per lane). No layout: the lane path only runs
+  /// on the unrouted statevector backend.
+  void apply_suffix_lanes(sim::BatchedStatevector& psi, std::size_t g) const;
 
   /// Energy contribution of group g from full-register samples drawn
   /// AFTER apply_suffix: sum over member terms of coeff * mean parity.

@@ -11,9 +11,42 @@
 // superconducting-device latency model (per-gate durations + readout +
 // per-shot reset) matching the scale reported for IBM machines.
 
+#include <cstddef>
 #include <cstdint>
 
 namespace qoc::sim {
+
+// ---- Evaluation-major (k-wide) lane policy ---------------------------------
+// StatevectorBackend's batch paths switch to the BatchedStatevector SoA
+// layout when a compiled structure receives enough distinct bindings on
+// a small register. The crossover is a cost-model call so the policy is
+// testable and shared by run_batch / expect_batch.
+
+/// Largest register the k-wide path pays off on. Above this the per-state
+/// working set (2^n amplitudes) leaves L2 and the lane-interleaved layout
+/// loses to PR 3's within-state SIMD kernels.
+inline constexpr int kBatchedLaneMaxQubits = 14;
+
+/// Default lane-group width: 8 states, one 64-byte cache line of doubles
+/// per amplitude row component, matching the AVX2 register budget.
+inline constexpr std::size_t kBatchedLanes = 8;
+
+/// Parse a QOC_BATCH_LANES override (same testable pattern as
+/// parse_thread_count): 0 when missing/non-numeric/non-positive/absurd
+/// (no override). 1 forces the scalar path; otherwise the value must be
+/// even and <= BatchedStatevector::kMaxLanes (32) or it is rejected.
+unsigned parse_batch_lanes(const char* s);
+
+/// Lane width for one batch dispatch: 1 means scalar per-evaluation
+/// execution, k >= 2 means lane groups of k. Priority: QOC_BATCH_LANES
+/// env override, then `pinned_lanes` (the StatevectorBackendOptions
+/// knob: -1 defer to cost model, 0/1 force scalar, >= 2 pin the width),
+/// then the cost model (kBatchedLanes when n_qubits <=
+/// kBatchedLaneMaxQubits and the batch has at least that many
+/// evaluations). Any requested width is clamped to even, <= 32, and to
+/// batch_size (a group needs k evaluations to fill its lanes).
+std::size_t batch_lane_width(int n_qubits, std::size_t batch_size,
+                             int pinned_lanes = -1);
 
 /// Workload description used by the paper's scalability study: "50 circuits
 /// of different #qubits with 16 rotation gates and 32 RZZ gates".

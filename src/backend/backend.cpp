@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "qoc/common/parallel.hpp"
+#include "qoc/sim/batched_statevector.hpp"
+#include "qoc/sim/cost_model.hpp"
 #include "qoc/sim/density_matrix.hpp"
 #include "qoc/sim/gates.hpp"
 #include "qoc/sim/statevector.hpp"
@@ -128,8 +130,15 @@ std::shared_ptr<const transpile::RoutedProgram> TranspileCache::get(
 // ---------------------------------------------------------------------------
 
 StatevectorBackend::StatevectorBackend(int shots, std::uint64_t seed)
-    : shots_(shots), seed_(seed), rng_(seed) {
-  if (shots < 0) throw std::invalid_argument("StatevectorBackend: shots < 0");
+    : StatevectorBackend(StatevectorBackendOptions{shots, seed}) {}
+
+StatevectorBackend::StatevectorBackend(const StatevectorBackendOptions& options)
+    : shots_(options.shots),
+      seed_(options.seed),
+      batch_lanes_(options.batch_lanes),
+      rng_(options.seed) {
+  if (options.shots < 0)
+    throw std::invalid_argument("StatevectorBackend: shots < 0");
 }
 
 std::vector<double> StatevectorBackend::execute(
@@ -162,12 +171,45 @@ std::vector<std::vector<double>> StatevectorBackend::execute_batch(
   const int n = plan.num_qubits();
   std::vector<std::vector<double>> results(evals.size());
 
+  // Evaluation-major partition: the first `grouped` evaluations execute
+  // k lanes at a time on a BatchedStatevector; the scalar loop handles
+  // the tail (and the whole batch when the cost model says lanes == 1).
+  // Lane L of a group evolves bit-identically to the scalar path, so
+  // the partition point is invisible in the results.
+  const std::size_t lanes = sim::batch_lane_width(n, evals.size(), batch_lanes_);
+  const std::size_t grouped = lanes > 1 ? (evals.size() / lanes) * lanes : 0;
+
   if (shots_ == 0) {
     // Exact mode: stateless, lock-free; scales linearly with threads.
     // Chunked so the angle buffer and statevector are constructed once
     // per worker chunk instead of once per evaluation.
+    if (grouped > 0) {
+      parallel_for_chunked(
+          0, grouped / lanes,
+          [&](std::size_t glo, std::size_t ghi) {
+            std::vector<double> angles;
+            std::vector<double> zexp;
+            sim::BatchedStatevector bsv(n, lanes);
+            for (std::size_t g = glo; g < ghi; ++g) {
+              plan.resolve_slots_lanes(evals.subspan(g * lanes, lanes), angles);
+              bsv.reset();
+              plan.apply_batched(bsv, angles);
+              // One fused measurement pass for the whole lane group
+              // (bit-identical per lane to expectation_z_all(l)).
+              bsv.expectation_z_all_lanes(zexp);
+              for (std::size_t l = 0; l < lanes; ++l) {
+                auto& r = results[g * lanes + l];
+                r.resize(static_cast<std::size_t>(n));
+                for (int q = 0; q < n; ++q)
+                  r[static_cast<std::size_t>(q)] = zexp[
+                      static_cast<std::size_t>(q) * lanes + l];
+              }
+            }
+          },
+          threads);
+    }
     parallel_for_chunked(
-        0, evals.size(),
+        grouped, evals.size(),
         [&](std::size_t lo, std::size_t hi) {
           std::vector<double> angles;
           sim::Statevector sv(n);
@@ -188,7 +230,9 @@ std::vector<std::vector<double>> StatevectorBackend::execute_batch(
   // submission order (exactly the split sequence a loop of run() calls
   // would draw); evaluations that pinned Evaluation::rng_stream get the
   // pure-function-of-(seed, stream) generator instead and consume no
-  // split, so their results are independent of batch composition.
+  // split, so their results are independent of batch composition. Lane
+  // grouping happens downstream of this assignment and each lane samples
+  // from its own evaluation's stream, so grouping cannot reorder draws.
   std::vector<Prng> rngs;
   rngs.reserve(evals.size());
   {
@@ -198,8 +242,27 @@ std::vector<std::vector<double>> StatevectorBackend::execute_batch(
                          ? rng_.split()
                          : stream_rng(evals[k].rng_stream));
   }
+  if (grouped > 0) {
+    parallel_for_chunked(
+        0, grouped / lanes,
+        [&](std::size_t glo, std::size_t ghi) {
+          std::vector<double> angles;
+          sim::BatchedStatevector bsv(n, lanes);
+          for (std::size_t g = glo; g < ghi; ++g) {
+            plan.resolve_slots_lanes(evals.subspan(g * lanes, lanes), angles);
+            bsv.reset();
+            plan.apply_batched(bsv, angles);
+            for (std::size_t l = 0; l < lanes; ++l) {
+              const std::size_t k = g * lanes + l;
+              const auto samples = bsv.sample(l, shots_, rngs[k]);
+              results[k] = expectations_from_samples(samples, n, shots_);
+            }
+          }
+        },
+        threads);
+  }
   parallel_for_chunked(
-      0, evals.size(),
+      grouped, evals.size(),
       [&](std::size_t lo, std::size_t hi) {
         std::vector<double> angles;
         sim::Statevector sv(n);
@@ -224,13 +287,35 @@ std::vector<double> StatevectorBackend::execute_expect_batch(
   const std::size_t n_groups = observable.groups().size();
   std::vector<double> results(evals.size());
 
+  // Same evaluation-major partition as execute_batch.
+  const std::size_t lanes = sim::batch_lane_width(n, evals.size(), batch_lanes_);
+  const std::size_t grouped = lanes > 1 ? (evals.size() / lanes) * lanes : 0;
+
   if (shots_ == 0) {
     // Exact mode: one state per evaluation, every term analytic. The
     // per-term loop inside CompiledObservable::expectation is
-    // bit-identical to vqe::Hamiltonian::expectation.
+    // bit-identical to vqe::Hamiltonian::expectation; the lane path
+    // replays the same loop with each term's Pauli product applied once
+    // per lane group.
     add_inferences(evals.size());
+    if (grouped > 0) {
+      parallel_for_chunked(
+          0, grouped / lanes,
+          [&](std::size_t glo, std::size_t ghi) {
+            std::vector<double> angles;
+            sim::BatchedStatevector bsv(n, lanes);
+            for (std::size_t g = glo; g < ghi; ++g) {
+              plan.resolve_slots_lanes(evals.subspan(g * lanes, lanes), angles);
+              bsv.reset();
+              plan.apply_batched(bsv, angles);
+              observable.expectation_lanes(
+                  bsv, std::span<double>(results).subspan(g * lanes, lanes));
+            }
+          },
+          threads);
+    }
     parallel_for_chunked(
-        0, evals.size(),
+        grouped, evals.size(),
         [&](std::size_t lo, std::size_t hi) {
           std::vector<double> angles;
           sim::Statevector sv(n);
@@ -250,7 +335,9 @@ std::vector<double> StatevectorBackend::execute_expect_batch(
   // execution per commuting group (basis-change suffix + Z sampling).
   // Per-evaluation RNG streams are assigned in submission order and
   // consumed sequentially within the evaluation, so results are
-  // deterministic and thread-count invariant.
+  // deterministic and thread-count invariant. The lane path iterates
+  // groups outer / lanes inner, so each lane's stream still sees its
+  // groups in the same order as the scalar path -- identical draws.
   add_inferences(evals.size() * n_groups);
   std::vector<Prng> rngs;
   rngs.reserve(evals.size());
@@ -263,8 +350,41 @@ std::vector<double> StatevectorBackend::execute_expect_batch(
                          ? rng_.split()
                          : stream_rng(evals[k].rng_stream));
   }
+  if (grouped > 0) {
+    parallel_for_chunked(
+        0, grouped / lanes,
+        [&](std::size_t glo, std::size_t ghi) {
+          std::vector<double> angles;
+          sim::BatchedStatevector bsv(n, lanes);
+          sim::BatchedStatevector bmeas(n, lanes);  // suffix scratch
+          for (std::size_t g = glo; g < ghi; ++g) {
+            plan.resolve_slots_lanes(evals.subspan(g * lanes, lanes), angles);
+            bsv.reset();
+            plan.apply_batched(bsv, angles);
+            for (std::size_t l = 0; l < lanes; ++l)
+              results[g * lanes + l] = observable.constant();
+            for (std::size_t gi = 0; gi < n_groups; ++gi) {
+              // One suffix application per lane group per commuting
+              // group (not per lane); all-Z groups skip the copy.
+              const sim::BatchedStatevector* src = &bsv;
+              if (!observable.groups()[gi].suffix.empty()) {
+                bmeas = bsv;
+                observable.apply_suffix_lanes(bmeas, gi);
+                src = &bmeas;
+              }
+              for (std::size_t l = 0; l < lanes; ++l) {
+                const std::size_t k = g * lanes + l;
+                const auto samples = src->sample(l, shots_, rngs[k]);
+                results[k] +=
+                    observable.group_energy_from_samples(samples, gi, shots_);
+              }
+            }
+          }
+        },
+        threads);
+  }
   parallel_for_chunked(
-      0, evals.size(),
+      grouped, evals.size(),
       [&](std::size_t lo, std::size_t hi) {
         std::vector<double> angles;
         sim::Statevector sv(n);

@@ -5,6 +5,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "qoc/sim/batched_statevector.hpp"
 #include "qoc/sim/gates.hpp"
 
 namespace qoc::exec {
@@ -562,6 +563,319 @@ void CompiledCircuit::apply(sim::Statevector& sv,
           }
         }
         sv.apply_1q(prod, op.q0);
+        break;
+      }
+    }
+  }
+}
+
+void CompiledCircuit::resolve_slots_lanes(std::span<const Evaluation> evals,
+                                          std::vector<double>& out) const {
+  const std::size_t k = evals.size();
+  for (const auto& e : evals) {
+    if (e.shift_op != Evaluation::kNoShift) {
+      if (e.shift_op >= source_.num_ops())
+        throw std::out_of_range("resolve_slots_lanes: shift op index");
+      if (slot_of_src_op_[e.shift_op] < 0)
+        throw std::invalid_argument(
+            "resolve_slots_lanes: shift op not parameterised");
+    }
+  }
+  out.resize(slots_.size() * k);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    for (std::size_t l = 0; l < k; ++l) {
+      const Evaluation& e = evals[l];
+      ParamRef ref = slots_[i].ref;
+      if (slots_[i].src_op == e.shift_op) ref.value += e.shift;
+      out[i * k + l] = circuit::resolve_angle(ref, e.theta, e.input);
+    }
+  }
+}
+
+namespace {
+
+/// Ops fusable into one diagonal pass: everything whose batched arm is a
+/// per-lane complex *multiply* (PauliZ / Cz negate instead, so folding
+/// them into a product chain would perturb signed zeros).
+bool is_mult_diag_op(const CompiledOp& op) {
+  switch (op.code) {
+    case OpCode::Diag1q:
+      return true;
+    case OpCode::Rot1q:
+      return op.kind == GateKind::Rz || op.kind == GateKind::Phase;
+    case OpCode::Rot2q:
+      return is_diag_2q_kind(op.kind);
+    default:
+      return false;
+  }
+}
+
+// Ops the batched path lowers to a dense per-lane 2x2 (candidates for
+// the fused pair pass; see BatchedStatevector::apply_1q_pair_lanes).
+bool is_dense_1q_op(const CompiledOp& op) {
+  switch (op.code) {
+    case OpCode::Fixed1q:
+    case OpCode::Fused1q:
+      return true;
+    case OpCode::Rot1q:
+      return !(op.kind == GateKind::Rz || op.kind == GateKind::Phase);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void CompiledCircuit::apply_batched(sim::BatchedStatevector& sv,
+                                    std::span<const double> slot_angles) const {
+  const std::size_t k = sv.lanes();
+  // Entry-major per-lane scratch; 16 entries covers the dense 2q case.
+  // buf2 holds the second matrix of a fused dense pair.
+  std::vector<cplx> buf(16 * k);
+  std::vector<cplx> buf2(4 * k);
+  const auto angle_at = [&](std::int32_t slot, std::size_t lane) {
+    return slot_angles[static_cast<std::size_t>(slot) * k + lane];
+  };
+
+  // Lower one dense 1q op (see is_dense_1q_op) to its entry-major
+  // per-lane matrix. Entry construction is byte-for-byte the switch arms
+  // below, so routing an op through the fused pair pass cannot perturb
+  // its lane matrices.
+  const auto build_dense_1q = [&](const CompiledOp& op, cplx* out) {
+    switch (op.code) {
+      case OpCode::Fixed1q: {
+        const Matrix& m = matrices_[static_cast<std::size_t>(op.matrix)];
+        for (std::size_t l = 0; l < k; ++l) {
+          out[0 * k + l] = m(0, 0);
+          out[1 * k + l] = m(0, 1);
+          out[2 * k + l] = m(1, 0);
+          out[3 * k + l] = m(1, 1);
+        }
+        break;
+      }
+      case OpCode::Rot1q: {
+        cplx m[4];
+        for (std::size_t l = 0; l < k; ++l) {
+          rot1q_entries(op.kind, angle_at(op.slot, l), m);
+          for (int e = 0; e < 4; ++e)
+            out[static_cast<std::size_t>(e) * k + l] = m[e];
+        }
+        break;
+      }
+      default: {  // Fused1q
+        const auto [begin, end] = groups_[static_cast<std::size_t>(op.group)];
+        cplx prod[4], elem[4], tmp[4];
+        for (std::size_t l = 0; l < k; ++l) {
+          for (std::int32_t e = begin; e < end; ++e) {
+            const FusedElem& f = fused_[static_cast<std::size_t>(e)];
+            cplx* dst = (e == begin) ? prod : elem;
+            if (f.slot >= 0) {
+              rot1q_entries(f.kind, angle_at(f.slot, l), dst);
+            } else {
+              const Matrix& m = matrices_[static_cast<std::size_t>(f.matrix)];
+              dst[0] = m(0, 0);
+              dst[1] = m(0, 1);
+              dst[2] = m(1, 0);
+              dst[3] = m(1, 1);
+            }
+            if (e != begin) {
+              matmul_2x2(prod, elem, tmp);
+              for (int i = 0; i < 4; ++i) prod[i] = tmp[i];
+            }
+          }
+          for (int e = 0; e < 4; ++e)
+            out[static_cast<std::size_t>(e) * k + l] = prod[e];
+        }
+        break;
+      }
+    }
+  };
+
+  // Scratch for fused diagonal runs: entry buffers (4 entries x k per op)
+  // plus the op descriptors handed to the kernel.
+  std::vector<cplx> diag_buf;
+  std::vector<sim::BatchedStatevector::DiagRunOp> diag_run;
+  // Scratch for dense pair runs (8 entries x k per pair).
+  std::vector<cplx> pair_buf;
+  std::vector<sim::BatchedStatevector::Pair1qOp> pair_run;
+  // Lower ops_[begin, end) -- all multiplicative diagonals -- into the
+  // entry buffers one fused pass consumes. Entry construction per op is
+  // byte-for-byte the switch arms below; only the number of sweeps over
+  // the state changes.
+  const auto build_diag_run = [&](std::size_t begin, std::size_t end) {
+    const std::size_t len = end - begin;
+    diag_buf.resize(len * 4 * k);
+    diag_run.resize(len);
+    for (std::size_t r = 0; r < len; ++r) {
+      const CompiledOp& op = ops_[begin + r];
+      cplx* d = diag_buf.data() + r * 4 * k;
+      auto& out = diag_run[r];
+      out.d = d;
+      out.qubit_a = op.q0;
+      out.qubit_b = -1;
+      switch (op.code) {
+        case OpCode::Diag1q: {
+          const Matrix& m = matrices_[static_cast<std::size_t>(op.matrix)];
+          std::fill_n(d, k, m(0, 0));
+          std::fill_n(d + k, k, m(1, 1));
+          break;
+        }
+        case OpCode::Rot1q: {
+          cplx m[4];
+          for (std::size_t l = 0; l < k; ++l) {
+            rot1q_entries(op.kind, angle_at(op.slot, l), m);
+            d[l] = m[0];
+            d[k + l] = m[3];
+          }
+          break;
+        }
+        default: {  // Rot2q, diagonal kind
+          out.qubit_b = op.q1;
+          cplx e[4];
+          for (std::size_t l = 0; l < k; ++l) {
+            rot2q_diag_entries(op.kind, angle_at(op.slot, l), e);
+            for (int j = 0; j < 4; ++j)
+              d[static_cast<std::size_t>(j) * k + l] = e[j];
+          }
+          break;
+        }
+      }
+    }
+  };
+
+  for (std::size_t oi = 0; oi < ops_.size(); ++oi) {
+    const auto& op = ops_[oi];
+    if (is_mult_diag_op(op)) {
+      std::size_t end = oi + 1;
+      while (end < ops_.size() && is_mult_diag_op(ops_[end])) ++end;
+      if (end - oi >= 2) {
+        build_diag_run(oi, end);
+        // When the run butts into a dense pair (an entangling ring
+        // followed by the next rotation layer), fuse the run into the
+        // pair's pass -- one sweep fewer per ring, bit-identical.
+        if (end + 1 < ops_.size() && is_dense_1q_op(ops_[end]) &&
+            is_dense_1q_op(ops_[end + 1]) && ops_[end].q0 != ops_[end + 1].q0) {
+          build_dense_1q(ops_[end], buf.data());
+          build_dense_1q(ops_[end + 1], buf2.data());
+          sv.apply_diag_run_then_1q_pair_lanes(diag_run.data(), end - oi,
+                                               buf.data(), ops_[end].q0,
+                                               buf2.data(), ops_[end + 1].q0);
+          oi = end + 1;
+          continue;
+        }
+        sv.apply_diag_run_lanes(diag_run.data(), end - oi);
+        oi = end - 1;
+        continue;
+      }
+    }
+    if (is_dense_1q_op(op) && oi + 1 < ops_.size()) {
+      // Fuse adjacent dense 1q gates on distinct qubits into pair
+      // passes (a rotation layer pairs up completely; the greedy
+      // adjacent pairing is bit-identical to gate-at-a-time), and hand
+      // the whole run of pairs to the tiled driver so the small-stride
+      // tail of a layer is cache-blocked into one sweep. Wider
+      // register-level fusion (16-row quad blocks) was measured
+      // slower -- the block-local vector array spills and the
+      // scattered 16-row gather cost more than the saved pass.
+      std::size_t np = 0;
+      std::size_t j = oi;
+      while (j + 1 < ops_.size() && is_dense_1q_op(ops_[j]) &&
+             is_dense_1q_op(ops_[j + 1]) && ops_[j + 1].q0 != ops_[j].q0) {
+        ++np;
+        j += 2;
+      }
+      if (np >= 1) {
+        pair_buf.resize(np * 8 * k);
+        pair_run.resize(np);
+        for (std::size_t p = 0; p < np; ++p) {
+          const auto& a = ops_[oi + 2 * p];
+          const auto& b = ops_[oi + 2 * p + 1];
+          cplx* ma = pair_buf.data() + p * 8 * k;
+          cplx* mb = ma + 4 * k;
+          build_dense_1q(a, ma);
+          build_dense_1q(b, mb);
+          pair_run[p] = {ma, a.q0, mb, b.q0};
+        }
+        if (np == 1)
+          sv.apply_1q_pair_lanes(pair_run[0].m_a, pair_run[0].qubit_a,
+                                 pair_run[0].m_b, pair_run[0].qubit_b);
+        else
+          sv.apply_1q_pair_run_lanes(pair_run.data(), np);
+        oi += 2 * np - 1;
+        continue;
+      }
+    }
+    switch (op.code) {
+      case OpCode::PauliX:
+        sv.apply_pauli_x(op.q0);
+        break;
+      case OpCode::PauliY:
+        sv.apply_pauli_y(op.q0);
+        break;
+      case OpCode::PauliZ:
+        sv.apply_pauli_z(op.q0);
+        break;
+      case OpCode::Cx:
+        sv.apply_cx(op.q0, op.q1);
+        break;
+      case OpCode::Cz:
+        sv.apply_cz(op.q0, op.q1);
+        break;
+      case OpCode::Swap:
+        sv.apply_swap(op.q0, op.q1);
+        break;
+      case OpCode::Diag1q: {
+        const Matrix& m = matrices_[static_cast<std::size_t>(op.matrix)];
+        sv.apply_diag_1q(m(0, 0), m(1, 1), op.q0);
+        break;
+      }
+      case OpCode::Fixed1q:
+        sv.apply_1q(matrices_[static_cast<std::size_t>(op.matrix)], op.q0);
+        break;
+      case OpCode::Fixed2q:
+        sv.apply_2q(matrices_[static_cast<std::size_t>(op.matrix)], op.q0,
+                    op.q1);
+        break;
+      case OpCode::FixedK:
+        sv.apply_matrix(matrices_[static_cast<std::size_t>(op.matrix)],
+                        op.qubits);
+        break;
+      case OpCode::Rot1q: {
+        cplx m[4];
+        if (op.kind == GateKind::Rz || op.kind == GateKind::Phase) {
+          for (std::size_t l = 0; l < k; ++l) {
+            rot1q_entries(op.kind, angle_at(op.slot, l), m);
+            buf[l] = m[0];
+            buf[k + l] = m[3];
+          }
+          sv.apply_diag_1q_lanes(buf.data(), op.q0);
+        } else {
+          build_dense_1q(op, buf.data());
+          sv.apply_1q_lanes(buf.data(), op.q0);
+        }
+        break;
+      }
+      case OpCode::Rot2q: {
+        if (is_diag_2q_kind(op.kind)) {
+          cplx d[4];
+          for (std::size_t l = 0; l < k; ++l) {
+            rot2q_diag_entries(op.kind, angle_at(op.slot, l), d);
+            for (int e = 0; e < 4; ++e) buf[static_cast<std::size_t>(e) * k + l] = d[e];
+          }
+          sv.apply_diag_2q_lanes(buf.data(), op.q0, op.q1);
+        } else {
+          cplx m[16];
+          for (std::size_t l = 0; l < k; ++l) {
+            rot2q_entries(op.kind, angle_at(op.slot, l), m);
+            for (int e = 0; e < 16; ++e) buf[static_cast<std::size_t>(e) * k + l] = m[e];
+          }
+          sv.apply_2q_lanes(buf.data(), op.q0, op.q1);
+        }
+        break;
+      }
+      case OpCode::Fused1q: {
+        build_dense_1q(op, buf.data());
+        sv.apply_1q_lanes(buf.data(), op.q0);
         break;
       }
     }

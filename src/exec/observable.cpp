@@ -1,8 +1,10 @@
 #include "qoc/exec/observable.hpp"
 
 #include <bit>
+#include <cmath>
 #include <stdexcept>
 
+#include "qoc/sim/batched_statevector.hpp"
 #include "qoc/sim/gates.hpp"
 
 namespace qoc::exec {
@@ -17,6 +19,16 @@ bool qwc_compatible(const std::string& basis, const std::string& paulis) {
   }
   return true;
 }
+
+// Basis-change entries hoisted to namespace scope so apply_suffix does
+// not rebuild a heap Matrix per (evaluation, group) pair. Values are
+// exactly the sim::gate_h() / sim::gate_sdg() matrix entries, and
+// Statevector::apply_1q(const Matrix&) only copies entries to the stack
+// before dispatching, so this is bit-identical to the Matrix path.
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+const linalg::cplx kHEntries[4] = {kInvSqrt2, kInvSqrt2, kInvSqrt2,
+                                   -kInvSqrt2};
+const linalg::cplx kSdgEntries[4] = {1.0, 0.0, 0.0, -linalg::kI};
 
 }  // namespace
 
@@ -105,14 +117,52 @@ double CompiledObservable::expectation(const sim::Statevector& psi) const {
   return e;
 }
 
+void CompiledObservable::expectation_lanes(const sim::BatchedStatevector& psi,
+                                           std::span<double> out) const {
+  if (psi.num_qubits() != n_qubits_)
+    throw std::invalid_argument("CompiledObservable: state size mismatch");
+  const std::size_t k = psi.lanes();
+  if (out.size() != k)
+    throw std::invalid_argument("expectation_lanes: out size != lanes");
+  for (std::size_t l = 0; l < k; ++l) out[l] = 0.0;
+  for (const auto& term : terms_) {
+    sim::BatchedStatevector scratch = psi;
+    for (int q = 0; q < n_qubits_; ++q) {
+      switch (term.paulis[static_cast<std::size_t>(q)]) {
+        case 'X': scratch.apply_pauli_x(q); break;
+        case 'Y': scratch.apply_pauli_y(q); break;
+        case 'Z': scratch.apply_pauli_z(q); break;
+        default: break;
+      }
+    }
+    const auto& a = psi.amplitudes();
+    const auto& b = scratch.amplitudes();
+    const std::size_t dim = psi.dim();
+    for (std::size_t l = 0; l < k; ++l) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < dim; ++i)
+        acc += (std::conj(a[i * k + l]) * b[i * k + l]).real();
+      out[l] += term.coeff * acc;
+    }
+  }
+}
+
 void CompiledObservable::apply_suffix(sim::Statevector& psi, std::size_t g,
                                       std::span<const int> layout) const {
   for (const auto& bc : groups_[g].suffix) {
     const int q = layout.empty()
                       ? bc.qubit
                       : layout[static_cast<std::size_t>(bc.qubit)];
-    if (bc.y) psi.apply_1q(sim::gate_sdg(), q);
-    psi.apply_1q(sim::gate_h(), q);
+    if (bc.y) psi.apply_1q(kSdgEntries, q);
+    psi.apply_1q(kHEntries, q);
+  }
+}
+
+void CompiledObservable::apply_suffix_lanes(sim::BatchedStatevector& psi,
+                                            std::size_t g) const {
+  for (const auto& bc : groups_[g].suffix) {
+    if (bc.y) psi.apply_1q(kSdgEntries, bc.qubit);
+    psi.apply_1q(kHEntries, bc.qubit);
   }
 }
 

@@ -1,12 +1,52 @@
 #include "qoc/sim/cost_model.hpp"
 
 #include <cmath>
+#include <cstdlib>
 
 namespace qoc::sim {
 
 namespace {
 double pow2(int n) { return std::ldexp(1.0, n); }
 }  // namespace
+
+unsigned parse_batch_lanes(const char* s) {
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v <= 0 || v > 32) return 0;
+  if (v > 1 && (v % 2) != 0) return 0;  // AVX2 forms need even lanes
+  return static_cast<unsigned>(v);
+}
+
+std::size_t batch_lane_width(int n_qubits, std::size_t batch_size,
+                             int pinned_lanes) {
+  // getenv is re-read per dispatch (not latched) so tests and benches can
+  // flip the override; a batch dispatch costs ~2^n work, the lookup is
+  // noise against that.
+  long want = -1;  // -1: defer to the cost model
+  if (const unsigned env = parse_batch_lanes(std::getenv("QOC_BATCH_LANES")))
+    want = static_cast<long>(env);
+  else if (pinned_lanes >= 0)
+    want = pinned_lanes;
+
+  if (want == 0 || want == 1) return 1;
+  if (want > 1) {
+    std::size_t k = static_cast<std::size_t>(want);
+    if (k % 2) --k;           // even lanes only
+    if (k > 32) k = 32;
+    return (k >= 2 && batch_size >= k) ? k : 1;
+  }
+
+  // Cost model: lane grouping wins when the whole lane group's working
+  // set stays L2-resident (2^14 rows * 8 lanes * 16 bytes = 2 MiB, the
+  // L2 of the parts this targets) and there are enough bindings to fill
+  // the lanes. Measured on the gate mix of BM_RunBatchDistinctBindings,
+  // the full width beats narrower groups across n = 10..14; above
+  // kBatchedLaneMaxQubits the group spills L2 and the scalar path's
+  // within-state kernels win.
+  if (n_qubits > kBatchedLaneMaxQubits) return 1;
+  return batch_size >= kBatchedLanes ? kBatchedLanes : 1;
+}
 
 double classical_ops(int n_qubits, const ScalingWorkload& w) {
   // 2^1-dim gate update costs 2 MACs per amplitude pair -> 2 * 2^n;

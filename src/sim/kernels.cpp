@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
 #include <utility>
 
 namespace qoc::sim::kernels {
@@ -230,6 +231,191 @@ void blocked_apply_pauli_z(cplx* amps, std::size_t dim, std::size_t stride) {
     for (std::size_t i = base; i < base + stride; ++i) amps[i] = -amps[i];
 }
 
+// ---- Portable batched (evaluation-major) -----------------------------------
+// Row enumeration is the blocked form above with every row index scaled
+// by k; the inner lane loop is the scalar reference expression per lane,
+// so lane L is bit-identical to running the scalar kernel on state L.
+// The lane loop is over contiguous memory and auto-vectorizes; the AVX2
+// TU provides hand-tuned forms for the arithmetic-heavy kernels.
+
+void portable_batched_apply_1q(cplx* amps, std::size_t dim, std::size_t stride,
+                               std::size_t k, const cplx* m) {
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    for (std::size_t off = 0; off < stride; ++off) {
+      cplx* p0 = amps + (base + off) * k;
+      cplx* p1 = p0 + stride * k;
+      for (std::size_t l = 0; l < k; ++l) {
+        const cplx a0 = p0[l];
+        const cplx a1 = p1[l];
+        p0[l] = m[0 * k + l] * a0 + m[1 * k + l] * a1;
+        p1[l] = m[2 * k + l] * a0 + m[3 * k + l] * a1;
+      }
+    }
+  }
+}
+
+void portable_batched_apply_2q(cplx* amps, std::size_t dim, std::size_t sa,
+                               std::size_t sb, std::size_t k, const cplx* m) {
+  const std::size_t s1 = std::min(sa, sb);
+  const std::size_t s2 = std::max(sa, sb);
+  for (std::size_t b2 = 0; b2 < dim; b2 += 2 * s2) {
+    for (std::size_t b1 = b2; b1 < b2 + s2; b1 += 2 * s1) {
+      for (std::size_t i = b1; i < b1 + s1; ++i) {
+        cplx* p00 = amps + i * k;
+        cplx* p01 = amps + (i + sb) * k;
+        cplx* p10 = amps + (i + sa) * k;
+        cplx* p11 = amps + (i + sa + sb) * k;
+        for (std::size_t l = 0; l < k; ++l) {
+          const cplx a00 = p00[l], a01 = p01[l], a10 = p10[l], a11 = p11[l];
+          p00[l] = m[0 * k + l] * a00 + m[1 * k + l] * a01 +
+                   m[2 * k + l] * a10 + m[3 * k + l] * a11;
+          p01[l] = m[4 * k + l] * a00 + m[5 * k + l] * a01 +
+                   m[6 * k + l] * a10 + m[7 * k + l] * a11;
+          p10[l] = m[8 * k + l] * a00 + m[9 * k + l] * a01 +
+                   m[10 * k + l] * a10 + m[11 * k + l] * a11;
+          p11[l] = m[12 * k + l] * a00 + m[13 * k + l] * a01 +
+                   m[14 * k + l] * a10 + m[15 * k + l] * a11;
+        }
+      }
+    }
+  }
+}
+
+void portable_batched_apply_diag_1q(cplx* amps, std::size_t dim,
+                                    std::size_t stride, std::size_t k,
+                                    const cplx* d) {
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      cplx* p = amps + i * k;
+      for (std::size_t l = 0; l < k; ++l) p[l] = d[l] * p[l];
+    }
+    for (std::size_t i = base + stride; i < base + 2 * stride; ++i) {
+      cplx* p = amps + i * k;
+      for (std::size_t l = 0; l < k; ++l) p[l] = d[k + l] * p[l];
+    }
+  }
+}
+
+void portable_batched_apply_diag_2q(cplx* amps, std::size_t dim,
+                                    std::size_t sa, std::size_t sb,
+                                    std::size_t k, const cplx* d) {
+  const std::size_t s1 = std::min(sa, sb);
+  const std::size_t s2 = std::max(sa, sb);
+  for (std::size_t b2 = 0; b2 < dim; b2 += 2 * s2) {
+    for (std::size_t b1 = b2; b1 < b2 + s2; b1 += 2 * s1) {
+      for (std::size_t i = b1; i < b1 + s1; ++i) {
+        cplx* p = amps + i * k;
+        for (std::size_t l = 0; l < k; ++l) p[l] = d[l] * p[l];
+      }
+      for (std::size_t i = b1 + sb; i < b1 + sb + s1; ++i) {
+        cplx* p = amps + i * k;
+        for (std::size_t l = 0; l < k; ++l) p[l] = d[k + l] * p[l];
+      }
+      for (std::size_t i = b1 + sa; i < b1 + sa + s1; ++i) {
+        cplx* p = amps + i * k;
+        for (std::size_t l = 0; l < k; ++l) p[l] = d[2 * k + l] * p[l];
+      }
+      for (std::size_t i = b1 + sa + sb; i < b1 + sa + sb + s1; ++i) {
+        cplx* p = amps + i * k;
+        for (std::size_t l = 0; l < k; ++l) p[l] = d[3 * k + l] * p[l];
+      }
+    }
+  }
+}
+
+void portable_batched_apply_diag_run(cplx* amps, std::size_t dim,
+                                     const BatchedDiagOp* ops,
+                                     std::size_t count, std::size_t k) {
+  // Row-sequential: every op's entry index depends only on the row, so
+  // each amplitude chains its whole product without touching memory
+  // between ops. Operand order (d * a) matches the standalone portable
+  // diag kernels, keeping the chain bit-identical to separate passes.
+  std::size_t eoff[kMaxDiagRun];
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t r = 0; r < count; ++r) {
+      const BatchedDiagOp& op = ops[r];
+      std::size_t e = (i & op.sa) ? 1 : 0;
+      if (op.sb != 0) e = 2 * e + ((i & op.sb) ? 1 : 0);
+      eoff[r] = e * k;
+    }
+    cplx* p = amps + i * k;
+    for (std::size_t l = 0; l < k; ++l) {
+      cplx a = p[l];
+      for (std::size_t r = 0; r < count; ++r) a = ops[r].d[eoff[r] + l] * a;
+      p[l] = a;
+    }
+  }
+}
+
+void portable_batched_apply_cx(cplx* amps, std::size_t dim, std::size_t sc,
+                               std::size_t st, std::size_t k) {
+  const std::size_t s1 = std::min(sc, st);
+  const std::size_t s2 = std::max(sc, st);
+  for (std::size_t b2 = 0; b2 < dim; b2 += 2 * s2)
+    for (std::size_t b1 = b2; b1 < b2 + s2; b1 += 2 * s1)
+      std::swap_ranges(amps + (b1 + sc) * k, amps + (b1 + sc + s1) * k,
+                       amps + (b1 + sc + st) * k);
+}
+
+void portable_batched_apply_cz(cplx* amps, std::size_t dim, std::size_t sa,
+                               std::size_t sb, std::size_t k) {
+  const std::size_t s1 = std::min(sa, sb);
+  const std::size_t s2 = std::max(sa, sb);
+  for (std::size_t b2 = 0; b2 < dim; b2 += 2 * s2)
+    for (std::size_t b1 = b2; b1 < b2 + s2; b1 += 2 * s1)
+      for (std::size_t i = (b1 + sa + sb) * k; i < (b1 + sa + sb + s1) * k;
+           ++i)
+        amps[i] = -amps[i];
+}
+
+void portable_batched_apply_swap(cplx* amps, std::size_t dim, std::size_t sa,
+                                 std::size_t sb, std::size_t k) {
+  const std::size_t s1 = std::min(sa, sb);
+  const std::size_t s2 = std::max(sa, sb);
+  for (std::size_t b2 = 0; b2 < dim; b2 += 2 * s2)
+    for (std::size_t b1 = b2; b1 < b2 + s2; b1 += 2 * s1)
+      std::swap_ranges(amps + (b1 + sa) * k, amps + (b1 + sa + s1) * k,
+                       amps + (b1 + sb) * k);
+}
+
+void portable_batched_apply_pauli_x(cplx* amps, std::size_t dim,
+                                    std::size_t stride, std::size_t k) {
+  for (std::size_t base = 0; base < dim; base += 2 * stride)
+    std::swap_ranges(amps + base * k, amps + (base + stride) * k,
+                     amps + (base + stride) * k);
+}
+
+void portable_batched_apply_pauli_y(cplx* amps, std::size_t dim,
+                                    std::size_t stride, std::size_t k) {
+  const cplx i{0.0, 1.0};
+  for (std::size_t base = 0; base < dim; base += 2 * stride)
+    for (std::size_t off = 0; off < stride; ++off) {
+      cplx* p0 = amps + (base + off) * k;
+      cplx* p1 = p0 + stride * k;
+      for (std::size_t l = 0; l < k; ++l) {
+        const cplx a0 = p0[l];
+        const cplx a1 = p1[l];
+        p0[l] = -i * a1;
+        p1[l] = i * a0;
+      }
+    }
+}
+
+void portable_batched_apply_pauli_z(cplx* amps, std::size_t dim,
+                                    std::size_t stride, std::size_t k) {
+  for (std::size_t base = stride; base < dim; base += 2 * stride)
+    for (std::size_t i = base * k; i < (base + stride) * k; ++i)
+      amps[i] = -amps[i];
+}
+
+/// Batched dispatch: the AVX2 forms need an even lane count (two complex
+/// lanes per register); otherwise -- and for Scalar/Blocked modes, where
+/// the portable loop already IS the per-lane scalar reference -- the
+/// portable form runs.
+bool use_batched_simd(std::size_t k) {
+  return resolve_path() == Path::Simd && (k % 2) == 0;
+}
+
 }  // namespace
 
 void set_kernel_mode(KernelMode mode) {
@@ -363,6 +549,211 @@ void apply_pauli_z(cplx* amps, std::size_t dim, std::size_t stride) {
     scalar_apply_pauli_z(amps, dim, stride);
   else
     blocked_apply_pauli_z(amps, dim, stride);
+}
+
+// ---- Batched dispatch ------------------------------------------------------
+
+void batched_apply_1q(cplx* amps, std::size_t dim, std::size_t stride,
+                      std::size_t k, const cplx* m) {
+  if (use_batched_simd(k)) {
+    if (const auto* t = active_simd(); t->batched_apply_1q != nullptr) {
+      t->batched_apply_1q(amps, dim, stride, k, m);
+      return;
+    }
+  }
+  portable_batched_apply_1q(amps, dim, stride, k, m);
+}
+
+namespace {
+
+void portable_batched_apply_1q_pair(cplx* amps, std::size_t dim,
+                                    std::size_t sa, const cplx* m_a,
+                                    std::size_t sb, const cplx* m_b,
+                                    std::size_t k) {
+  // Enumerate rows with both the sa and sb bits clear; each names the
+  // 4-row block the two butterflies close over. Per lane the arithmetic
+  // below is expression-for-expression two portable_batched_apply_1q
+  // passes (gate A then gate B) with the intermediates kept in locals.
+  const std::size_t hi = sa > sb ? sa : sb;
+  const std::size_t lo = sa > sb ? sb : sa;
+  for (std::size_t base = 0; base < dim; base += 2 * hi) {
+    for (std::size_t mid = base; mid < base + hi; mid += 2 * lo) {
+      for (std::size_t off = 0; off < lo; ++off) {
+        const std::size_t row = mid + off;
+        cplx* p00 = amps + row * k;
+        cplx* p01 = p00 + sb * k;
+        cplx* p10 = p00 + sa * k;
+        cplx* p11 = p10 + sb * k;
+        for (std::size_t l = 0; l < k; ++l) {
+          const cplx a00 = p00[l];
+          const cplx a01 = p01[l];
+          const cplx a10 = p10[l];
+          const cplx a11 = p11[l];
+          // Gate A: stride-sa pairs (a00, a10) and (a01, a11).
+          const cplx b00 = m_a[0 * k + l] * a00 + m_a[1 * k + l] * a10;
+          const cplx b10 = m_a[2 * k + l] * a00 + m_a[3 * k + l] * a10;
+          const cplx b01 = m_a[0 * k + l] * a01 + m_a[1 * k + l] * a11;
+          const cplx b11 = m_a[2 * k + l] * a01 + m_a[3 * k + l] * a11;
+          // Gate B: stride-sb pairs (b00, b01) and (b10, b11).
+          p00[l] = m_b[0 * k + l] * b00 + m_b[1 * k + l] * b01;
+          p01[l] = m_b[2 * k + l] * b00 + m_b[3 * k + l] * b01;
+          p10[l] = m_b[0 * k + l] * b10 + m_b[1 * k + l] * b11;
+          p11[l] = m_b[2 * k + l] * b10 + m_b[3 * k + l] * b11;
+        }
+      }
+    }
+  }
+}
+
+
+}  // namespace
+
+void batched_apply_1q_pair(cplx* amps, std::size_t dim, std::size_t sa,
+                           const cplx* m_a, std::size_t sb, const cplx* m_b,
+                           std::size_t k) {
+  if (sa == sb)
+    throw std::invalid_argument(
+        "batched_apply_1q_pair: gates must act on distinct qubits");
+  if (use_batched_simd(k)) {
+    if (const auto* t = active_simd(); t->batched_apply_1q_pair != nullptr) {
+      t->batched_apply_1q_pair(amps, dim, sa, m_a, sb, m_b, k);
+      return;
+    }
+  }
+  portable_batched_apply_1q_pair(amps, dim, sa, m_a, sb, m_b, k);
+}
+
+void batched_apply_1q_pair_run(cplx* amps, std::size_t dim,
+                               const BatchedPairOp* pairs, std::size_t count,
+                               std::size_t k) {
+  if (count > kMaxPairRun)
+    throw std::invalid_argument("batched_apply_1q_pair_run: run too long");
+  for (std::size_t p = 0; p < count; ++p)
+    if (pairs[p].sa == pairs[p].sb)
+      throw std::invalid_argument(
+          "batched_apply_1q_pair_run: gates must act on distinct qubits");
+  if (count > 0 && use_batched_simd(k)) {
+    if (const auto* t = active_simd();
+        t->batched_apply_1q_pair_run != nullptr) {
+      t->batched_apply_1q_pair_run(amps, dim, pairs, count, k);
+      return;
+    }
+  }
+  // Pair-at-a-time reference form (the tiled kernel's bitwise oracle).
+  for (std::size_t p = 0; p < count; ++p)
+    portable_batched_apply_1q_pair(amps, dim, pairs[p].sa, pairs[p].m_a,
+                                   pairs[p].sb, pairs[p].m_b, k);
+}
+
+
+void batched_apply_2q(cplx* amps, std::size_t dim, std::size_t sa,
+                      std::size_t sb, std::size_t k, const cplx* m) {
+  if (use_batched_simd(k)) {
+    if (const auto* t = active_simd(); t->batched_apply_2q != nullptr) {
+      t->batched_apply_2q(amps, dim, sa, sb, k, m);
+      return;
+    }
+  }
+  portable_batched_apply_2q(amps, dim, sa, sb, k, m);
+}
+
+void batched_apply_diag_1q(cplx* amps, std::size_t dim, std::size_t stride,
+                           std::size_t k, const cplx* d) {
+  if (use_batched_simd(k)) {
+    if (const auto* t = active_simd(); t->batched_apply_diag_1q != nullptr) {
+      t->batched_apply_diag_1q(amps, dim, stride, k, d);
+      return;
+    }
+  }
+  portable_batched_apply_diag_1q(amps, dim, stride, k, d);
+}
+
+void batched_apply_diag_2q(cplx* amps, std::size_t dim, std::size_t sa,
+                           std::size_t sb, std::size_t k, const cplx* d) {
+  if (use_batched_simd(k)) {
+    if (const auto* t = active_simd(); t->batched_apply_diag_2q != nullptr) {
+      t->batched_apply_diag_2q(amps, dim, sa, sb, k, d);
+      return;
+    }
+  }
+  portable_batched_apply_diag_2q(amps, dim, sa, sb, k, d);
+}
+
+void batched_apply_diag_run(cplx* amps, std::size_t dim,
+                            const BatchedDiagOp* ops, std::size_t count,
+                            std::size_t k) {
+  if (count == 0) return;
+  if (count > kMaxDiagRun)
+    throw std::invalid_argument("batched_apply_diag_run: run too long");
+  if (use_batched_simd(k)) {
+    if (const auto* t = active_simd(); t->batched_apply_diag_run != nullptr) {
+      t->batched_apply_diag_run(amps, dim, ops, count, k);
+      return;
+    }
+  }
+  portable_batched_apply_diag_run(amps, dim, ops, count, k);
+}
+
+void batched_apply_diag_run_then_1q_pair(cplx* amps, std::size_t dim,
+                                         const BatchedDiagOp* ops,
+                                         std::size_t count, std::size_t sa,
+                                         const cplx* m_a, std::size_t sb,
+                                         const cplx* m_b, std::size_t k) {
+  if (count > kMaxDiagRun)
+    throw std::invalid_argument(
+        "batched_apply_diag_run_then_1q_pair: run too long");
+  if (sa == sb)
+    throw std::invalid_argument(
+        "batched_apply_diag_run_then_1q_pair: gates must act on distinct "
+        "qubits");
+  if (count > 0 && use_batched_simd(k)) {
+    if (const auto* t = active_simd();
+        t->batched_apply_diag_run_then_1q_pair != nullptr) {
+      t->batched_apply_diag_run_then_1q_pair(amps, dim, ops, count, sa, m_a,
+                                             sb, m_b, k);
+      return;
+    }
+  }
+  // Two-pass reference form (the fused kernel's bit-exactness oracle).
+  batched_apply_diag_run(amps, dim, ops, count, k);
+  batched_apply_1q_pair(amps, dim, sa, m_a, sb, m_b, k);
+}
+
+void batched_apply_cx(cplx* amps, std::size_t dim, std::size_t sc,
+                      std::size_t st, std::size_t k) {
+  // Pure data movement; the swap_ranges form auto-vectorizes.
+  portable_batched_apply_cx(amps, dim, sc, st, k);
+}
+
+void batched_apply_cz(cplx* amps, std::size_t dim, std::size_t sa,
+                      std::size_t sb, std::size_t k) {
+  portable_batched_apply_cz(amps, dim, sa, sb, k);
+}
+
+void batched_apply_swap(cplx* amps, std::size_t dim, std::size_t sa,
+                        std::size_t sb, std::size_t k) {
+  portable_batched_apply_swap(amps, dim, sa, sb, k);
+}
+
+void batched_apply_pauli_x(cplx* amps, std::size_t dim, std::size_t stride,
+                           std::size_t k) {
+  portable_batched_apply_pauli_x(amps, dim, stride, k);
+}
+
+void batched_apply_pauli_y(cplx* amps, std::size_t dim, std::size_t stride,
+                           std::size_t k) {
+  if (use_batched_simd(k)) {
+    if (const auto* t = active_simd(); t->batched_apply_pauli_y != nullptr) {
+      t->batched_apply_pauli_y(amps, dim, stride, k);
+      return;
+    }
+  }
+  portable_batched_apply_pauli_y(amps, dim, stride, k);
+}
+
+void batched_apply_pauli_z(cplx* amps, std::size_t dim, std::size_t stride,
+                           std::size_t k) {
+  portable_batched_apply_pauli_z(amps, dim, stride, k);
 }
 
 }  // namespace qoc::sim::kernels

@@ -1,0 +1,368 @@
+// Tests for the evaluation-major (k-wide) batch execution path: the
+// lane-grouped run_batch / expect_batch results must be BITWISE identical
+// to the scalar per-evaluation path (the oracle), including the non-
+// multiple tail, mixed zero-angle bindings, sampled mode and pinned RNG
+// streams. Also unit-tests the lane-width policy (QOC_BATCH_LANES parse,
+// StatevectorBackendOptions pin, cost-model crossover).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "qoc/backend/backend.hpp"
+#include "qoc/circuit/circuit.hpp"
+#include "qoc/sim/batched_statevector.hpp"
+#include "qoc/sim/cost_model.hpp"
+
+namespace {
+
+using namespace qoc::backend;
+using qoc::circuit::Circuit;
+using qoc::circuit::ParamRef;
+using qoc::exec::CompiledCircuit;
+using qoc::exec::Evaluation;
+using qoc::sim::batch_lane_width;
+using qoc::sim::parse_batch_lanes;
+
+constexpr std::uint64_t kSeed = 0xBADC0FFEEULL;
+
+// A structurally rich circuit on n qubits: fixed gates (structured and
+// dense), diagonal and dense rotations, controlled rotations, a fused
+// 1q run and -- for n >= 3 -- a Ccx, so every apply_batched dispatch arm
+// executes. Uses n trainable angles plus 2 encoder inputs.
+Circuit dense_circuit(int n) {
+  Circuit c(n);
+  for (int q = 0; q < n; ++q) c.h(q);
+  for (int q = 0; q < n; ++q) c.ry(q, ParamRef::trainable(q));
+  for (int q = 0; q + 1 < n; q += 2) c.cx(q, q + 1);
+  c.rx(0, ParamRef::input(0, 0.5, 0.1));
+  c.rz(n - 1, ParamRef::trainable(0));
+  c.phase(0, ParamRef::trainable((n > 1) ? 1 : 0));
+  // Adjacent s/t/sx on one qubit: exercises the Fused1q product path.
+  c.s(0);
+  c.t(0);
+  c.sx(0);
+  c.x(0);
+  c.y(n - 1);
+  c.z(0);
+  if (n >= 2) {
+    c.rzz(0, n - 1, ParamRef::trainable(0));
+    c.rxx(0, 1, ParamRef::trainable(n - 1));
+    c.crx(0, 1, ParamRef::trainable(0));
+    c.cp(1, 0, ParamRef::input(1, 1.0, 0.0));
+    c.cz(0, 1);
+    c.swap(0, n - 1);
+  }
+  if (n >= 3) {
+    c.ryy(1, 2, ParamRef::trainable(2));
+    c.rzx(2, 0, ParamRef::trainable(1));
+    c.ccx(0, 1, 2);
+  }
+  return c;
+}
+
+// Batch of `count` evaluations with distinct bindings. Every 5th binding
+// is all-zero (the mixed zero-angle case), every 7th carries a parameter
+// shift, and -- when `pin_streams` -- every 3rd pins its RNG stream.
+struct EvalSet {
+  std::vector<std::vector<double>> thetas;
+  std::vector<std::vector<double>> inputs;
+  std::vector<Evaluation> evals;
+};
+
+EvalSet make_evals(int n, std::size_t count, bool pin_streams = false) {
+  EvalSet s;
+  s.thetas.resize(count);
+  s.inputs.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    s.thetas[i].resize(static_cast<std::size_t>(n));
+    for (int q = 0; q < n; ++q)
+      s.thetas[i][static_cast<std::size_t>(q)] =
+          (i % 5 == 0) ? 0.0 : 0.3 * static_cast<double>(i + 1) + 0.11 * q;
+    s.inputs[i] = {0.25 * static_cast<double>(i), -0.4};
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    Evaluation e;
+    e.theta = s.thetas[i];
+    e.input = s.inputs[i];
+    if (i % 7 == 3) {
+      e.shift_op = static_cast<std::size_t>(n);  // first ry op
+      e.shift = 1.5707963267948966;
+    }
+    if (pin_streams && i % 3 == 0)
+      e.rng_stream = (std::uint64_t{1} << 63) | i;
+    s.evals.push_back(e);
+  }
+  return s;
+}
+
+StatevectorBackend scalar_backend(int shots = 0) {
+  return StatevectorBackend(StatevectorBackendOptions{
+      .shots = shots, .seed = kSeed, .batch_lanes = 1});
+}
+
+StatevectorBackend wide_backend(int shots = 0, int lanes = -1) {
+  return StatevectorBackend(StatevectorBackendOptions{
+      .shots = shots, .seed = kSeed, .batch_lanes = lanes});
+}
+
+// ---- Policy unit tests -----------------------------------------------------
+
+TEST(BatchLanePolicy, ParseBatchLanes) {
+  EXPECT_EQ(parse_batch_lanes(nullptr), 0u);
+  EXPECT_EQ(parse_batch_lanes(""), 0u);
+  EXPECT_EQ(parse_batch_lanes("junk"), 0u);
+  EXPECT_EQ(parse_batch_lanes("8x"), 0u);
+  EXPECT_EQ(parse_batch_lanes("-4"), 0u);
+  EXPECT_EQ(parse_batch_lanes("0"), 0u);
+  EXPECT_EQ(parse_batch_lanes("33"), 0u);
+  EXPECT_EQ(parse_batch_lanes("3"), 0u);  // odd widths rejected
+  EXPECT_EQ(parse_batch_lanes("1"), 1u);  // force-scalar
+  EXPECT_EQ(parse_batch_lanes("2"), 2u);
+  EXPECT_EQ(parse_batch_lanes("8"), 8u);
+  EXPECT_EQ(parse_batch_lanes("32"), 32u);
+}
+
+TEST(BatchLanePolicy, CostModelCrossover) {
+  // Small register + enough bindings -> full-width lane groups across
+  // the whole supported range (the n = 14 group is 2 MiB, exactly the
+  // L2 of the parts this targets; measured faster than narrower groups).
+  EXPECT_EQ(batch_lane_width(10, 64), qoc::sim::kBatchedLanes);
+  EXPECT_EQ(batch_lane_width(13, 64), qoc::sim::kBatchedLanes);
+  EXPECT_EQ(batch_lane_width(qoc::sim::kBatchedLaneMaxQubits, 64),
+            qoc::sim::kBatchedLanes);
+  // One past either threshold -> scalar.
+  EXPECT_EQ(batch_lane_width(qoc::sim::kBatchedLaneMaxQubits + 1, 64), 1u);
+  EXPECT_EQ(batch_lane_width(10, qoc::sim::kBatchedLanes - 1), 1u);
+  EXPECT_EQ(batch_lane_width(qoc::sim::kBatchedLaneMaxQubits, 3), 1u);
+}
+
+TEST(BatchLanePolicy, OptionsPin) {
+  EXPECT_EQ(batch_lane_width(20, 64, 8), 8u);   // pin beats the cost model
+  EXPECT_EQ(batch_lane_width(10, 64, 0), 1u);   // kill switch
+  EXPECT_EQ(batch_lane_width(10, 64, 1), 1u);
+  EXPECT_EQ(batch_lane_width(10, 64, 4), 4u);
+  EXPECT_EQ(batch_lane_width(10, 3, 4), 1u);    // batch too small to fill
+  EXPECT_EQ(batch_lane_width(10, 64, 7), 6u);   // odd pins clamp down
+  EXPECT_EQ(batch_lane_width(10, 64, 40), 32u); // kMaxLanes cap
+}
+
+TEST(BatchLanePolicy, EnvOverrideWinsOverEverything) {
+  ::setenv("QOC_BATCH_LANES", "4", 1);
+  EXPECT_EQ(batch_lane_width(10, 64, 0), 4u);   // beats the kill switch
+  EXPECT_EQ(batch_lane_width(20, 64, -1), 4u);  // beats the cost model
+  ::setenv("QOC_BATCH_LANES", "1", 1);
+  EXPECT_EQ(batch_lane_width(10, 64, 8), 1u);   // force-scalar
+  ::setenv("QOC_BATCH_LANES", "bogus", 1);
+  EXPECT_EQ(batch_lane_width(10, 64, 4), 4u);   // junk -> no override
+  ::unsetenv("QOC_BATCH_LANES");
+  EXPECT_EQ(batch_lane_width(10, 64, 4), 4u);
+}
+
+TEST(BatchedStatevectorShape, ValidatesConstruction) {
+  using qoc::sim::BatchedStatevector;
+  EXPECT_THROW(BatchedStatevector(0, 8), std::invalid_argument);
+  EXPECT_THROW(BatchedStatevector(31, 8), std::invalid_argument);
+  EXPECT_THROW(BatchedStatevector(4, 0), std::invalid_argument);
+  EXPECT_THROW(BatchedStatevector(4, 1), std::invalid_argument);
+  EXPECT_THROW(BatchedStatevector(4, 3), std::invalid_argument);  // odd
+  EXPECT_THROW(BatchedStatevector(4, 34), std::invalid_argument);
+  BatchedStatevector sv(3, 4);
+  EXPECT_EQ(sv.num_qubits(), 3);
+  EXPECT_EQ(sv.lanes(), 4u);
+  EXPECT_EQ(sv.dim(), 8u);
+}
+
+// ---- Bitwise parity: run_batch ---------------------------------------------
+
+void expect_run_batch_parity(int n, std::size_t count, int shots,
+                             bool pin_streams, unsigned threads) {
+  const Circuit c = dense_circuit(n);
+  const CompiledCircuit plan = CompiledCircuit::compile(c);
+  const EvalSet s = make_evals(n, count, pin_streams);
+
+  StatevectorBackend oracle = scalar_backend(shots);
+  StatevectorBackend wide = wide_backend(shots);
+  const auto ref = oracle.run_batch(plan, s.evals, threads);
+  const auto got = wide.run_batch(plan, s.evals, threads);
+
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(ref[i].size(), got[i].size());
+    for (std::size_t q = 0; q < ref[i].size(); ++q)
+      EXPECT_EQ(ref[i][q], got[i][q])  // bitwise, not approximate
+          << "n=" << n << " eval=" << i << " qubit=" << q;
+  }
+}
+
+TEST(BatchKernelParity, RunBatchExactSmall) {
+  expect_run_batch_parity(/*n=*/2, /*count=*/19, /*shots=*/0, false, 1);
+}
+
+TEST(BatchKernelParity, RunBatchExactMedium) {
+  expect_run_batch_parity(/*n=*/8, /*count=*/19, /*shots=*/0, false, 2);
+}
+
+TEST(BatchKernelParity, RunBatchExactCrossoverEdge) {
+  // n = 14 is the largest register the cost model routes to lanes.
+  expect_run_batch_parity(/*n=*/14, /*count=*/9, /*shots=*/0, false, 2);
+}
+
+TEST(BatchKernelParity, RunBatchTailOnlyBatch) {
+  // Batch smaller than a lane group: everything takes the scalar tail,
+  // and both backends must agree trivially (guards the partition math).
+  expect_run_batch_parity(/*n=*/8, /*count=*/5, /*shots=*/0, false, 1);
+}
+
+// The serving-workload shape: rotation layers alternating with rzz
+// entangling rings. Each ring (a fused diagonal run) butts into the
+// next layer's first dense pair, so this pins the fused
+// diag-run -> 1q-pair pass; the first layer on |0...0> also exercises
+// the all-zero-block skip in the dense kernels.
+Circuit layered_circuit(int n) {
+  Circuit c(n);
+  for (int q = 0; q < n; ++q) c.ry(q, ParamRef::trainable(q));
+  for (int rep = 0; rep < 2; ++rep) {
+    for (int q = 0; q < n; ++q)
+      c.rzz(q, (q + 1) % n, ParamRef::trainable((q + rep) % n));
+    for (int q = 0; q < n; ++q)
+      c.ry(q, ParamRef::trainable((q + rep + 1) % n));
+  }
+  return c;
+}
+
+TEST(BatchKernelParity, RunBatchLayeredRingFusion) {
+  for (const int n : {2, 5, 8}) {  // odd n leaves an unpaired layer tail
+    const CompiledCircuit plan = CompiledCircuit::compile(layered_circuit(n));
+    const EvalSet s = make_evals(n, 19);
+    StatevectorBackend oracle = scalar_backend();
+    StatevectorBackend wide = wide_backend();
+    const auto ref = oracle.run_batch(plan, s.evals, 1);
+    const auto got = wide.run_batch(plan, s.evals, 1);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(ref[i].size(), got[i].size());
+      for (std::size_t q = 0; q < ref[i].size(); ++q)
+        EXPECT_EQ(ref[i][q], got[i][q])  // bitwise, not approximate
+            << "n=" << n << " eval=" << i << " qubit=" << q;
+    }
+  }
+}
+
+TEST(BatchKernelParity, RunBatchSampledAutoStreams) {
+  // Sampled mode: stream assignment is submission-order, so lane
+  // grouping must not change which stream an evaluation consumes.
+  expect_run_batch_parity(/*n=*/8, /*count=*/19, /*shots=*/256, false, 1);
+  expect_run_batch_parity(/*n=*/8, /*count=*/19, /*shots=*/256, false, 4);
+}
+
+TEST(BatchKernelParity, RunBatchSampledPinnedStreams) {
+  expect_run_batch_parity(/*n=*/8, /*count=*/19, /*shots=*/128, true, 2);
+}
+
+TEST(BatchKernelParity, PinnedWidthsAgreeWithScalar) {
+  const Circuit c = dense_circuit(6);
+  const CompiledCircuit plan = CompiledCircuit::compile(c);
+  const EvalSet s = make_evals(6, 13);
+  StatevectorBackend oracle = scalar_backend();
+  const auto ref = oracle.run_batch(plan, s.evals);
+  for (int lanes : {2, 4, 8}) {
+    StatevectorBackend wide = wide_backend(0, lanes);
+    const auto got = wide.run_batch(plan, s.evals);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      for (std::size_t q = 0; q < ref[i].size(); ++q)
+        EXPECT_EQ(ref[i][q], got[i][q]) << "lanes=" << lanes << " i=" << i;
+  }
+}
+
+TEST(BatchKernelParity, EnvOverrideRoutesWideBatch) {
+  // QOC_BATCH_LANES must flip the dispatch at runtime, and the forced
+  // widths must still match the scalar oracle bitwise.
+  const Circuit c = dense_circuit(5);
+  const CompiledCircuit plan = CompiledCircuit::compile(c);
+  const EvalSet s = make_evals(5, 11);
+  StatevectorBackend oracle = scalar_backend();
+  const auto ref = oracle.run_batch(plan, s.evals);
+
+  ::setenv("QOC_BATCH_LANES", "2", 1);
+  StatevectorBackend forced = scalar_backend();  // env beats the pin
+  const auto got = forced.run_batch(plan, s.evals);
+  ::unsetenv("QOC_BATCH_LANES");
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    for (std::size_t q = 0; q < ref[i].size(); ++q)
+      EXPECT_EQ(ref[i][q], got[i][q]);
+}
+
+// ---- Bitwise parity: expect_batch ------------------------------------------
+
+// Heisenberg-style chain built directly from raw terms (the Hamiltonian
+// factory caps at 10 qubits; the crossover test needs 14).
+qoc::exec::CompiledObservable chain_observable(int n) {
+  std::vector<qoc::exec::ObservableTerm> terms;
+  terms.push_back({std::string(static_cast<std::size_t>(n), 'I'), 0.25});
+  for (int q = 0; q + 1 < n; ++q) {
+    for (char p : {'X', 'Y', 'Z'}) {
+      std::string s(static_cast<std::size_t>(n), 'I');
+      s[static_cast<std::size_t>(q)] = p;
+      s[static_cast<std::size_t>(q) + 1] = p;
+      terms.push_back({s, 0.9 + 0.01 * q});
+    }
+  }
+  return qoc::exec::CompiledObservable::compile(n, terms);
+}
+
+void expect_expect_batch_parity(int n, std::size_t count, int shots,
+                                unsigned threads) {
+  const Circuit c = dense_circuit(n);
+  const CompiledCircuit plan = CompiledCircuit::compile(c);
+  const auto obs = chain_observable(n);
+  const EvalSet s = make_evals(n, count, /*pin_streams=*/shots > 0);
+
+  StatevectorBackend oracle = scalar_backend(shots);
+  StatevectorBackend wide = wide_backend(shots);
+  const auto ref = oracle.expect_batch(plan, obs, s.evals, threads);
+  const auto got = wide.expect_batch(plan, obs, s.evals, threads);
+
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_EQ(ref[i], got[i]) << "n=" << n << " eval=" << i;
+}
+
+TEST(BatchKernelParity, ExpectBatchExact) {
+  expect_expect_batch_parity(/*n=*/2, /*count=*/19, /*shots=*/0, 1);
+  expect_expect_batch_parity(/*n=*/8, /*count=*/19, /*shots=*/0, 2);
+}
+
+TEST(BatchKernelParity, ExpectBatchExactCrossoverEdge) {
+  expect_expect_batch_parity(/*n=*/14, /*count=*/9, /*shots=*/0, 2);
+}
+
+TEST(BatchKernelParity, ExpectBatchSampled) {
+  // Sampled energies: one measurement per commuting group per lane; the
+  // per-evaluation stream must see the exact draw sequence of the scalar
+  // path (groups outer, shots inner).
+  expect_expect_batch_parity(/*n=*/6, /*count=*/19, /*shots=*/128, 1);
+  expect_expect_batch_parity(/*n=*/6, /*count=*/19, /*shots=*/128, 4);
+}
+
+TEST(BatchKernelParity, RunThenRunBatchSampledSerialStateMatches) {
+  // Interleaving: a backend that already served single runs must still
+  // assign batch streams exactly like the scalar backend would.
+  const Circuit c = dense_circuit(4);
+  const CompiledCircuit plan = CompiledCircuit::compile(c);
+  const EvalSet s = make_evals(4, 17);
+
+  StatevectorBackend oracle = scalar_backend(64);
+  StatevectorBackend wide = wide_backend(64);
+  (void)oracle.run(plan, s.thetas[0], s.inputs[0]);
+  (void)wide.run(plan, s.thetas[0], s.inputs[0]);
+  const auto ref = oracle.run_batch(plan, s.evals);
+  const auto got = wide.run_batch(plan, s.evals);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    for (std::size_t q = 0; q < ref[i].size(); ++q)
+      EXPECT_EQ(ref[i][q], got[i][q]);
+}
+
+}  // namespace
