@@ -28,7 +28,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -37,7 +36,9 @@
 #include <vector>
 
 #include "qoc/circuit/circuit.hpp"
+#include "qoc/common/mutex.hpp"
 #include "qoc/common/prng.hpp"
+#include "qoc/common/thread_annotations.hpp"
 #include "qoc/exec/compiled_circuit.hpp"
 #include "qoc/exec/observable.hpp"
 #include "qoc/noise/channels.hpp"
@@ -212,11 +213,11 @@ class Backend {
 
  private:
   std::atomic<std::uint64_t> inferences_{0};
-  std::mutex plan_cache_mutex_;
+  common::Mutex plan_cache_mutex_;
   std::unordered_map<std::uint64_t,
                      std::vector<std::shared_ptr<const exec::CompiledCircuit>>>
-      plan_cache_;
-  std::size_t plan_cache_entries_ = 0;
+      plan_cache_ QOC_GUARDED_BY(plan_cache_mutex_);
+  std::size_t plan_cache_entries_ QOC_GUARDED_BY(plan_cache_mutex_) = 0;
 };
 
 /// Construction options for StatevectorBackend.
@@ -282,8 +283,8 @@ class StatevectorBackend final : public Backend {
   int shots_;
   std::uint64_t seed_;
   int batch_lanes_ = -1;
-  Prng rng_;
-  std::mutex rng_mutex_;  // sampled mode only; exact mode never locks
+  common::Mutex rng_mutex_;  // sampled mode only; exact mode never locks
+  Prng rng_ QOC_GUARDED_BY(rng_mutex_);
 };
 
 /// Options controlling the noisy-device simulation fidelity/cost trade.
@@ -316,10 +317,11 @@ class TranspileCache {
  public:
   /// Routed program for the plan's structure, computing it on miss.
   std::shared_ptr<const transpile::RoutedProgram> get(
-      const exec::CompiledCircuit& plan, const noise::DeviceModel& device);
+      const exec::CompiledCircuit& plan, const noise::DeviceModel& device)
+      QOC_EXCLUDES(mutex_);
 
  private:
-  std::mutex mutex_;
+  common::Mutex mutex_;
   // Probed by the cheap structure_hash, but every hash hit is verified
   // against the full signature string before a template is served: the
   // exec header explicitly allows hash collisions, and serving a
@@ -329,8 +331,8 @@ class TranspileCache {
       std::uint64_t,
       std::vector<std::pair<std::string,
                             std::shared_ptr<const transpile::RoutedProgram>>>>
-      cache_;
-  std::size_t entries_ = 0;
+      cache_ QOC_GUARDED_BY(mutex_);
+  std::size_t entries_ QOC_GUARDED_BY(mutex_) = 0;
 };
 
 /// Exact noisy execution via density-matrix evolution: the same device

@@ -1,0 +1,128 @@
+#pragma once
+// Annotated mutual-exclusion primitives.
+//
+// Clang's thread-safety analysis tracks capabilities through attributes
+// on the mutex type's own methods -- which libstdc++'s std::mutex does
+// not carry. These thin wrappers add the attributes (and nothing else):
+// Mutex wraps std::mutex, MutexLock / UniqueLock replace
+// std::lock_guard / std::unique_lock, and CondVar wraps
+// std::condition_variable_any waiting on the Mutex directly, so a wait
+// site keeps its REQUIRES(mutex) contract visible to the analysis.
+//
+// All qoc code must use these instead of the raw std types: the
+// qoc_lint "raw-mutex" rule enforces it (a raw std::mutex is invisible
+// to the analysis, so any field it guards silently loses checking).
+//
+// CondVar deliberately takes the Mutex, not the lock object: the
+// analysis cannot express "requires the mutex this unique_lock holds",
+// but it checks `wait(Mutex&) QOC_REQUIRES(mu)` exactly. Waiting
+// through condition_variable_any costs one extra internal mutex
+// relative to std::condition_variable; none of the waits in this
+// codebase are on paths where that is measurable (they are all
+// block-until-work-arrives waits).
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "qoc/common/thread_annotations.hpp"
+
+namespace qoc::common {
+
+/// std::mutex with thread-safety-analysis attributes. Satisfies
+/// BasicLockable, so CondVar can wait on it directly.
+class QOC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QOC_ACQUIRE() { m_.lock(); }
+  void unlock() QOC_RELEASE() { m_.unlock(); }
+  bool try_lock() QOC_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::lock_guard equivalent: acquires in the constructor, releases in
+/// the destructor, no manual control.
+class QOC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) QOC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() QOC_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock equivalent: scoped acquire with manual
+/// unlock()/lock() (the drop-the-lock-around-work pattern of the serve
+/// drain lanes). The destructor releases only if currently owned; the
+/// analysis models the manual release/reacquire on the scoped object.
+class QOC_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) QOC_ACQUIRE(mu) : mu_(mu), owns_(true) {
+    mu_.lock();
+  }
+  ~UniqueLock() QOC_RELEASE() {
+    if (owns_) mu_.unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() QOC_ACQUIRE() {
+    mu_.lock();
+    owns_ = true;
+  }
+  void unlock() QOC_RELEASE() {
+    owns_ = false;
+    mu_.unlock();
+  }
+  bool owns_lock() const { return owns_; }
+
+ private:
+  Mutex& mu_;
+  bool owns_;
+};
+
+/// Condition variable bound to Mutex. Waits take the Mutex itself (held
+/// by the caller through a MutexLock/UniqueLock on the same object) so
+/// the REQUIRES contract stays checkable; the wait releases and
+/// reacquires it internally, exactly like std::condition_variable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) QOC_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Predicate form: `pred` runs with `mu` held. Prefer an explicit
+  /// `while (!cond) cv.wait(mu);` loop when the predicate reads guarded
+  /// fields -- the analysis cannot see that a lambda invoked inside the
+  /// wait holds the lock.
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) QOC_REQUIRES(mu) {
+    while (!pred()) cv_.wait(mu);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      QOC_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace qoc::common

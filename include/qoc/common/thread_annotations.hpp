@@ -1,0 +1,82 @@
+#pragma once
+// Clang thread-safety-analysis attribute macros.
+//
+// The concurrency contracts of this codebase (which mutex guards which
+// field, which functions must be entered with a lock held) were
+// previously prose comments enforced by one TSAN CI job -- i.e. only as
+// well as test coverage happened to trigger the race. These macros turn
+// the contracts into compiler-checked annotations: a clang build with
+// -Werror=thread-safety (CMake option QOC_THREAD_SAFETY_ANALYSIS, the
+// CI "thread-safety" job) rejects any access to a QOC_GUARDED_BY field
+// without its mutex held and any call to a QOC_REQUIRES function
+// without the stated capability.
+//
+// On non-clang compilers (and clang without the attribute) every macro
+// expands to nothing, so the annotations are zero-cost documentation.
+//
+// Usage pattern (see qoc/common/mutex.hpp for the annotated primitives):
+//
+//   common::Mutex mutex_;
+//   int queue_depth_ QOC_GUARDED_BY(mutex_);
+//   void drain_locked() QOC_REQUIRES(mutex_);
+//
+// Annotating a new mutex-protected structure is documented in
+// src/README.md ("Correctness tooling").
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define QOC_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#endif
+#endif
+#ifndef QOC_THREAD_ANNOTATION_ATTRIBUTE
+#define QOC_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define QOC_CAPABILITY(x) QOC_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability (lock_guard / unique_lock equivalents).
+#define QOC_SCOPED_CAPABILITY QOC_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define QOC_GUARDED_BY(x) QOC_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define QOC_PT_GUARDED_BY(x) QOC_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function acquires the capability (and does not release it).
+#define QOC_ACQUIRE(...) \
+  QOC_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define QOC_RELEASE(...) \
+  QOC_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquire; first argument is the success value.
+#define QOC_TRY_ACQUIRE(...) \
+  QOC_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability to call this function (the "_locked"
+/// suffix convention, now compiler-checked).
+#define QOC_REQUIRES(...) \
+  QOC_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (functions that acquire it
+/// themselves; catches self-deadlock at compile time).
+#define QOC_EXCLUDES(...) \
+  QOC_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts (without acquiring) that the capability is held -- escape
+/// hatch for invariants the analysis cannot see.
+#define QOC_ASSERT_CAPABILITY(x) \
+  QOC_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define QOC_RETURN_CAPABILITY(x) \
+  QOC_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Opt a function out of the analysis (last resort; justify in a
+/// comment at every use).
+#define QOC_NO_THREAD_SAFETY_ANALYSIS \
+  QOC_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

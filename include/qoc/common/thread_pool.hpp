@@ -32,31 +32,32 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "qoc/common/env.hpp"
+#include "qoc/common/mutex.hpp"
+#include "qoc/common/thread_annotations.hpp"
+
 namespace qoc {
 
 /// Parse a thread-count override string ("8"); returns 0 when the value
-/// is missing, non-numeric, non-positive or absurd (> 4096 -- including
-/// strtol overflow saturation), i.e. no override: a garbage QOC_THREADS
-/// must never size a pool with billions of workers. Split out of
-/// hardware_threads() so the parsing rules are testable without
-/// mutating the process environment.
+/// is missing, non-numeric (strictly decimal digits -- signs,
+/// whitespace and trailing junk are garbage), non-positive or absurd
+/// (> 4096, including any overflowing value), i.e. no override: a
+/// garbage QOC_THREADS must never size a pool with billions of workers.
+/// Validation lives in common::parse_env_uint, shared with the
+/// QOC_BATCH_LANES knob (sim::parse_batch_lanes) so every numeric env
+/// knob rejects garbage identically; split out of hardware_threads() so
+/// the rules are testable without mutating the process environment.
 inline unsigned parse_thread_count(const char* s) {
-  if (s == nullptr || *s == '\0') return 0;
-  char* end = nullptr;
-  const long v = std::strtol(s, &end, 10);
-  if (end == s || *end != '\0' || v <= 0 || v > 4096) return 0;
-  return static_cast<unsigned>(v);
+  return static_cast<unsigned>(common::parse_env_uint(s, 4096));
 }
 
 /// Number of worker threads to use by default (>= 1). The QOC_THREADS
@@ -98,8 +99,8 @@ class ThreadPool {
     unsigned workers = 0;
     std::size_t pending_tickets = 0;
   };
-  Stats stats() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats() const QOC_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     return {size(), tickets_.size()};
   }
 
@@ -170,22 +171,22 @@ class ThreadPool {
     std::atomic<std::size_t> next{0};  // next unclaimed chunk
     std::atomic<std::size_t> done{0};  // completed chunks
     std::atomic<bool> failed{false};
-    std::exception_ptr error;  // first exception; guarded by error_mutex
-    std::mutex error_mutex;
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
+    Mutex error_mutex;
+    std::exception_ptr error QOC_GUARDED_BY(error_mutex);  // first exception
+    Mutex done_mutex;
+    CondVar done_cv;
   };
 
   void run_impl(std::size_t begin, std::size_t end, ChunkFnPtr fn, void* ctx,
-                unsigned target, std::size_t min_chunk);
-  void worker_loop();
+                unsigned target, std::size_t min_chunk) QOC_EXCLUDES(mutex_);
+  void worker_loop() QOC_EXCLUDES(mutex_);
   static void help(Job& job);  // claim and execute chunks until drained
 
-  std::vector<std::thread> workers_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Job>> tickets_;  // pending help requests
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // immutable after construction
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::shared_ptr<Job>> tickets_ QOC_GUARDED_BY(mutex_);
+  bool stop_ QOC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace common

@@ -32,7 +32,10 @@ inline constexpr int kBatchedLaneMaxQubits = 14;
 inline constexpr std::size_t kBatchedLanes = 8;
 
 /// Parse a QOC_BATCH_LANES override (same testable pattern as
-/// parse_thread_count): 0 when missing/non-numeric/non-positive/absurd
+/// parse_thread_count, and the same validation core --
+/// common::parse_env_uint -- so every numeric env knob rejects garbage
+/// identically): 0 when missing/non-numeric (strictly decimal digits;
+/// signs, whitespace and trailing junk are garbage)/non-positive/absurd
 /// (no override). 1 forces the scalar path; otherwise the value must be
 /// even and <= BatchedStatevector::kMaxLanes (32) or it is rejected.
 unsigned parse_batch_lanes(const char* s);

@@ -30,12 +30,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "qoc/common/mutex.hpp"
+#include "qoc/common/thread_annotations.hpp"
 #include "qoc/transpile/transpile.hpp"
 
 namespace qoc::transpile {
@@ -118,21 +119,22 @@ class RoutedProgram {
   /// stream for this binding's zero-angle pattern when its trace
   /// replays cleanly. Bit-identical to transpile_with_angles() on the
   /// same template and binding. Thread-safe.
-  Transpiled transpile(std::span<const double> source_angles) const;
+  Transpiled transpile(std::span<const double> source_angles) const
+      QOC_EXCLUDES(mutex_);
 
   /// Cached zero-angle patterns (test/diagnostic hook).
-  std::size_t cached_patterns() const;
+  std::size_t cached_patterns() const QOC_EXCLUDES(mutex_);
 
  private:
   RoutedTemplate tmpl_;
   int n_device_qubits_ = 0;
-  mutable std::mutex mutex_;
+  mutable common::Mutex mutex_;
   /// Keyed by the packed zero-angle bitmask of the source angles;
   /// cleared wholesale at a fixed cap (unbounded pattern families, e.g.
   /// randomized structured sparsity, cannot leak).
   mutable std::unordered_map<std::string,
                              std::shared_ptr<const LoweredPlan>>
-      cache_;
+      cache_ QOC_GUARDED_BY(mutex_);
 };
 
 }  // namespace qoc::transpile

@@ -34,7 +34,7 @@ std::shared_ptr<const exec::CompiledCircuit> Backend::plan_cached(
   // the signature string is only materialised inside compile() on a miss.
   const std::uint64_t h = exec::structure_hash(c);
 
-  const std::lock_guard<std::mutex> lock(plan_cache_mutex_);
+  const common::MutexLock lock(plan_cache_mutex_);
   if (plan_cache_entries_ >= kPlanCacheCap) {
     plan_cache_.clear();
     plan_cache_entries_ = 0;
@@ -106,7 +106,7 @@ std::shared_ptr<const transpile::RoutedProgram> TranspileCache::get(
   // structure_hash() explicitly allows collisions, and serving a
   // colliding entry would execute the wrong routed program. Every hit is
   // verified against the full canonical signature.
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   const auto it = cache_.find(plan.structure_hash());
   if (it != cache_.end())
     for (const auto& [sig, tmpl] : it->second)
@@ -236,7 +236,7 @@ std::vector<std::vector<double>> StatevectorBackend::execute_batch(
   std::vector<Prng> rngs;
   rngs.reserve(evals.size());
   {
-    const std::lock_guard<std::mutex> lock(rng_mutex_);
+    const common::MutexLock lock(rng_mutex_);
     for (std::size_t k = 0; k < evals.size(); ++k)
       rngs.push_back(evals[k].rng_stream == exec::Evaluation::kAutoStream
                          ? rng_.split()
@@ -344,7 +344,7 @@ std::vector<double> StatevectorBackend::execute_expect_batch(
   {
     // Same stream assignment as execute_batch: submission-order splits
     // for auto evaluations, pinned streams consume no split.
-    const std::lock_guard<std::mutex> lock(rng_mutex_);
+    const common::MutexLock lock(rng_mutex_);
     for (std::size_t k = 0; k < evals.size(); ++k)
       rngs.push_back(evals[k].rng_stream == exec::Evaluation::kAutoStream
                          ? rng_.split()

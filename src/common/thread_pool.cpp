@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(unsigned workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -36,8 +36,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tickets_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stop_ && tickets_.empty()) cv_.wait(mutex_);
       if (tickets_.empty()) return;  // stop_ set and queue drained
       job = std::move(tickets_.front());
       tickets_.pop_front();
@@ -57,7 +57,7 @@ void ThreadPool::help(Job& job) {
         job.fn(job.ctx, lo, hi);
       } catch (...) {
         {
-          const std::lock_guard<std::mutex> lock(job.error_mutex);
+          const MutexLock lock(job.error_mutex);
           if (!job.error) job.error = std::current_exception();
         }
         job.failed.store(true, std::memory_order_relaxed);
@@ -69,7 +69,7 @@ void ThreadPool::help(Job& job) {
     // between the caller's predicate check and its wait.
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         job.n_chunks) {
-      const std::lock_guard<std::mutex> lock(job.done_mutex);
+      const MutexLock lock(job.done_mutex);
       job.done_cv.notify_all();
     }
   }
@@ -99,7 +99,7 @@ void ThreadPool::run_impl(std::size_t begin, std::size_t end, ChunkFnPtr fn,
        job->n_chunks});
   if (helpers > 0) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       for (std::size_t i = 0; i < helpers; ++i) tickets_.push_back(job);
     }
     if (helpers == 1)
@@ -111,12 +111,19 @@ void ThreadPool::run_impl(std::size_t begin, std::size_t end, ChunkFnPtr fn,
   help(*job);
 
   {
-    std::unique_lock<std::mutex> lock(job->done_mutex);
-    job->done_cv.wait(lock, [&job] {
-      return job->done.load(std::memory_order_acquire) == job->n_chunks;
-    });
+    UniqueLock lock(job->done_mutex);
+    while (job->done.load(std::memory_order_acquire) != job->n_chunks)
+      job->done_cv.wait(job->done_mutex);
   }
-  if (job->error) std::rethrow_exception(job->error);
+  // All chunks completed, so no writer can race this read; the lock
+  // keeps the guarded-by contract honest (and costs one uncontended
+  // acquire per parallel region).
+  std::exception_ptr error;
+  {
+    const MutexLock lock(job->error_mutex);
+    error = job->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace qoc::common

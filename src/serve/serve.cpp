@@ -3,17 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
-#include <condition_variable>
 #include <deque>
 #include <list>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
 
+#include "qoc/common/mutex.hpp"
+#include "qoc/common/thread_annotations.hpp"
 #include "qoc/common/thread_pool.hpp"
 
 namespace qoc::serve {
@@ -147,18 +147,28 @@ struct ReadyBatch {
 /// a private queue, so batches execute concurrently across replicas.
 /// `inflight_jobs` (atomic: read lock-free by the routing pass and by
 /// metrics) counts jobs routed here but not yet completed -- the
-/// least-queued-work signal. The plain counters are guarded by the
-/// session mutex: the routing counters are written by the dispatcher
-/// at routing time, everything else by the lane at completion.
+/// least-queued-work signal. The lane's counter slice lives in
+/// SessionState::lane_stats[index], guarded by the session mutex (see
+/// LaneCounters).
 struct ReplicaLane {
   backend::Backend* replica = nullptr;
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<ReadyBatch> queue;
-  bool stop = false;
+  std::size_t index = 0;  // slot in SessionState::lane_stats
+  common::Mutex mutex;
+  common::CondVar cv;
+  std::deque<ReadyBatch> queue QOC_GUARDED_BY(mutex);
+  bool stop QOC_GUARDED_BY(mutex) = false;
   std::thread worker;
   std::atomic<std::size_t> inflight_jobs{0};
+};
 
+/// Per-replica counter slice, indexed by ReplicaLane::index. Owned by
+/// SessionState rather than the lane so every counter sits under the
+/// one session mutex its writers already hold -- the routing counters
+/// are written by the dispatcher at routing time, everything else by
+/// the lane at completion -- and the thread-safety analysis can name
+/// the guarding capability (it cannot express "guarded by another
+/// object's mutex" on a ReplicaLane member).
+struct LaneCounters {
   std::uint64_t batches = 0, coalesced_jobs = 0, executed_jobs = 0;
   std::uint64_t size_flushes = 0, deadline_flushes = 0;
   std::uint64_t affinity_routes = 0, assigned_structures = 0;
@@ -172,55 +182,68 @@ struct SessionState {
   const Clock::time_point started = Clock::now();
 
   // ---- job queue + metrics (mutex) ----
-  mutable std::mutex mutex;
-  std::condition_variable cv;        // wakes the dispatcher
-  std::condition_variable space_cv;  // wakes blocked submitters
-  bool stop = false;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, Bucket> buckets;
-  std::size_t total_queued = 0;  // jobs coalescing in buckets
-  std::size_t in_flight = 0;     // admitted jobs not yet fulfilled
-                                 //   (buckets + lanes + executing);
-                                 //   the quantity max_queue bounds
+  mutable common::Mutex mutex;
+  common::CondVar cv;        // wakes the dispatcher
+  common::CondVar space_cv;  // wakes blocked submitters
+  bool stop QOC_GUARDED_BY(mutex) = false;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Bucket> buckets
+      QOC_GUARDED_BY(mutex);
+  // Jobs coalescing in buckets.
+  std::size_t total_queued QOC_GUARDED_BY(mutex) = 0;
+  // Admitted jobs not yet fulfilled (buckets + lanes + executing); the
+  // quantity max_queue bounds.
+  std::size_t in_flight QOC_GUARDED_BY(mutex) = 0;
 
   // Sticky structure -> replica assignment (outlives the buckets, which
   // are erased when drained: affinity must survive sparse traffic or
   // the per-replica transpile/pattern caches go cold on every flush).
-  std::unordered_map<std::uint64_t, std::size_t> structure_affinity;
+  std::unordered_map<std::uint64_t, std::size_t> structure_affinity
+      QOC_GUARDED_BY(mutex);
 
-  std::uint64_t submitted = 0, completed = 0, failed = 0, cache_hits = 0;
-  std::uint64_t folded_jobs = 0, shed_jobs = 0;
-  std::uint64_t batches = 0, coalesced_jobs = 0;
-  std::uint64_t size_flushes = 0, deadline_flushes = 0;
-  std::size_t peak_queue_depth = 0;
+  std::uint64_t submitted QOC_GUARDED_BY(mutex) = 0;
+  std::uint64_t completed QOC_GUARDED_BY(mutex) = 0;
+  std::uint64_t failed QOC_GUARDED_BY(mutex) = 0;
+  std::uint64_t cache_hits QOC_GUARDED_BY(mutex) = 0;
+  std::uint64_t folded_jobs QOC_GUARDED_BY(mutex) = 0;
+  std::uint64_t shed_jobs QOC_GUARDED_BY(mutex) = 0;
+  std::uint64_t batches QOC_GUARDED_BY(mutex) = 0;
+  std::uint64_t coalesced_jobs QOC_GUARDED_BY(mutex) = 0;
+  std::uint64_t size_flushes QOC_GUARDED_BY(mutex) = 0;
+  std::uint64_t deadline_flushes QOC_GUARDED_BY(mutex) = 0;
+  std::size_t peak_queue_depth QOC_GUARDED_BY(mutex) = 0;
   static constexpr std::size_t kLatencyWindow = 8192;
-  std::vector<double> latency_us = std::vector<double>(kLatencyWindow, 0.0);
-  std::size_t latency_pos = 0;
+  std::vector<double> latency_us QOC_GUARDED_BY(mutex) =
+      std::vector<double>(kLatencyWindow, 0.0);
+  std::size_t latency_pos QOC_GUARDED_BY(mutex) = 0;
+  // Per-replica counter slices, one per lane (ReplicaLane::index).
+  std::vector<LaneCounters> lane_stats QOC_GUARDED_BY(mutex);
 
-  // ---- per-replica drain lanes ----
+  // ---- per-replica drain lanes (vector immutable after construction;
+  // each lane's queue/stop sit under its own lane mutex) ----
   std::vector<std::unique_ptr<ReplicaLane>> lanes;
   std::atomic<unsigned> active_drains{0};  // lanes inside a backend call
 
   // ---- circuit / observable registry (registry_mutex) ----
-  std::mutex registry_mutex;
+  common::Mutex registry_mutex;
   std::unordered_map<std::uint64_t,
                      std::vector<std::weak_ptr<const CircuitEntry>>>
-      registry;
+      registry QOC_GUARDED_BY(registry_mutex);
   std::unordered_map<std::uint64_t,
                      std::vector<std::weak_ptr<const ObservableEntry>>>
-      obs_registry;
-  std::uint64_t next_circuit_id = 1;
-  std::uint64_t next_observable_id = 1;
+      obs_registry QOC_GUARDED_BY(registry_mutex);
+  std::uint64_t next_circuit_id QOC_GUARDED_BY(registry_mutex) = 1;
+  std::uint64_t next_observable_id QOC_GUARDED_BY(registry_mutex) = 1;
   std::atomic<std::uint32_t> next_client{0};
 
   // ---- bounded LRU result cache (cache_mutex) ----
-  std::mutex cache_mutex;
-  std::list<CacheEntry> lru;  // front = most recently used
+  common::Mutex cache_mutex;
+  std::list<CacheEntry> lru QOC_GUARDED_BY(cache_mutex);  // front = MRU
   std::unordered_map<std::uint64_t,
                      std::vector<std::list<CacheEntry>::iterator>>
-      cache_index;
+      cache_index QOC_GUARDED_BY(cache_mutex);
 
-  // ---- dispatcher ----
-  std::mutex join_mutex;
+  // ---- dispatcher (join_mutex serialises concurrent shutdown()s) ----
+  common::Mutex join_mutex;
   std::thread dispatcher;
 
   static bool any_replica_deterministic(const BackendPool& p) {
@@ -234,10 +257,12 @@ struct SessionState {
         options(o),
         cache_enabled(o.result_cache_capacity > 0 && pool.deterministic()),
         fold_possible(o.fold_duplicates && any_replica_deterministic(pool)) {
+    lane_stats.resize(pool.size());
     lanes.reserve(pool.size());
     for (std::size_t i = 0; i < pool.size(); ++i) {
       lanes.push_back(std::make_unique<ReplicaLane>());
       lanes.back()->replica = &pool.replica(i);
+      lanes.back()->index = i;
     }
   }
 
@@ -254,7 +279,8 @@ struct SessionState {
     return common::ThreadPool::global().fair_share(requested, drains_now);
   }
 
-  void record_latency(Clock::time_point enqueued, Clock::time_point now) {
+  void record_latency(Clock::time_point enqueued, Clock::time_point now)
+      QOC_REQUIRES(mutex) {
     const double us =
         std::chrono::duration<double, std::micro>(now - enqueued).count();
     latency_us[latency_pos % kLatencyWindow] = us;
@@ -267,7 +293,8 @@ struct SessionState {
                                       std::uint64_t circuit_id,
                                       std::uint64_t obs_id,
                                       std::span<const double> theta,
-                                      std::span<const double> input) {
+                                      std::span<const double> input)
+      QOC_REQUIRES(cache_mutex) {
     const auto it = cache_index.find(key_hash);
     if (it == cache_index.end()) return nullptr;
     for (const auto& entry_it : it->second) {
@@ -282,8 +309,8 @@ struct SessionState {
     return nullptr;
   }
 
-  void cache_insert(CacheEntry entry) {
-    const std::lock_guard<std::mutex> lock(cache_mutex);
+  void cache_insert(CacheEntry entry) QOC_EXCLUDES(cache_mutex) {
+    const common::MutexLock lock(cache_mutex);
     if (cache_find_locked(entry.key_hash, entry.circuit_id, entry.obs_id,
                           entry.theta, entry.input) != nullptr)
       return;  // a concurrent duplicate already landed; keep it fresh
@@ -301,8 +328,8 @@ struct SessionState {
   // ---- queue --------------------------------------------------------------
 
   /// Remove up to `max` jobs from `b`, one per client lane per round.
-  /// Caller holds `mutex`.
-  std::vector<Job> extract_locked(Bucket& b, std::size_t max) {
+  std::vector<Job> extract_locked(Bucket& b, std::size_t max)
+      QOC_REQUIRES(mutex) {
     std::vector<Job> out;
     out.reserve(std::min(b.size, max));
     while (out.size() < max && b.size > 0) {
@@ -326,22 +353,22 @@ struct SessionState {
   /// Commits one drained batch to the aggregate and per-replica batch /
   /// occupancy / flush-cause counters. Called by the lane at completion
   /// (success or failure) -- never at routing time, so a batch queued
-  /// behind a busy replica is not reported as executed. Caller holds
-  /// `mutex`.
-  void commit_batch_locked(ReplicaLane& lane, FlushCause cause,
-                           std::size_t jobs) {
+  /// behind a busy replica is not reported as executed.
+  void commit_batch_locked(const ReplicaLane& lane, FlushCause cause,
+                           std::size_t jobs) QOC_REQUIRES(mutex) {
+    LaneCounters& slice = lane_stats[lane.index];
     ++batches;
-    ++lane.batches;
+    ++slice.batches;
     coalesced_jobs += jobs;
-    lane.coalesced_jobs += jobs;
+    slice.coalesced_jobs += jobs;
     switch (cause) {
       case FlushCause::kSize:
         ++size_flushes;
-        ++lane.size_flushes;
+        ++slice.size_flushes;
         break;
       case FlushCause::kDeadline:
         ++deadline_flushes;
-        ++lane.deadline_flushes;
+        ++slice.deadline_flushes;
         break;
       case FlushCause::kShutdown:
         break;
@@ -362,7 +389,7 @@ struct SessionState {
 
   /// Run one coalesced batch through `lane`'s replica and fulfil every
   /// promise. Called by the lane's worker thread with no lock held.
-  void execute(ReplicaLane& lane, ReadyBatch ready) {
+  void execute(ReplicaLane& lane, ReadyBatch ready) QOC_EXCLUDES(mutex) {
     const auto& circuit = ready.circuit;
     const auto& observable = ready.observable;
     std::vector<Job>& batch = ready.jobs;
@@ -440,7 +467,7 @@ struct SessionState {
     } catch (...) {
       const auto error = std::current_exception();
       {
-        const std::lock_guard<std::mutex> lock(mutex);
+        const common::MutexLock lock(mutex);
         commit_batch_locked(lane, ready.cause, batch.size());
         failed += batch.size();
         in_flight -= batch.size();
@@ -458,11 +485,11 @@ struct SessionState {
 
     {
       const auto now = Clock::now();
-      const std::lock_guard<std::mutex> lock(mutex);
+      const common::MutexLock lock(mutex);
       commit_batch_locked(lane, ready.cause, batch.size());
       completed += batch.size();
       folded_jobs += batch.size() - leaders.size();
-      lane.executed_jobs += leaders.size();
+      lane_stats[lane.index].executed_jobs += leaders.size();
       in_flight -= batch.size();
       for (const Job& j : batch) record_latency(j.enqueued, now);
     }
@@ -507,12 +534,12 @@ struct SessionState {
   /// execute them. Exits once stop is set AND the queue is drained --
   /// shutdown sets lane stops only after the dispatcher has routed
   /// every remaining job, so no future is ever abandoned.
-  void lane_loop(ReplicaLane& lane) {
-    std::unique_lock<std::mutex> lock(lane.mutex);
+  void lane_loop(ReplicaLane& lane) QOC_EXCLUDES(mutex, lane.mutex) {
+    common::UniqueLock lock(lane.mutex);
     for (;;) {
       if (lane.queue.empty()) {
         if (lane.stop) return;
-        lane.cv.wait(lock);
+        lane.cv.wait(lane.mutex);
         continue;
       }
       ReadyBatch batch = std::move(lane.queue.front());
@@ -528,9 +555,9 @@ struct SessionState {
   /// its replica, keeping that replica's transpile / lowered-pattern
   /// caches hot. New structures are placed on the lane with the least
   /// in-flight work (ties break to the lowest index, so single-replica
-  /// sessions and idle pools route deterministically). Caller holds
-  /// `mutex`.
-  ReplicaLane& route_locked(std::uint64_t circuit_id, bool& was_affinity) {
+  /// sessions and idle pools route deterministically).
+  ReplicaLane& route_locked(std::uint64_t circuit_id, bool& was_affinity)
+      QOC_REQUIRES(mutex) {
     const auto it = structure_affinity.find(circuit_id);
     if (it != structure_affinity.end()) {
       was_affinity = true;
@@ -559,12 +586,12 @@ struct SessionState {
   /// call and batches for different replicas run concurrently. After
   /// stop() every remaining job routes immediately, so shutdown never
   /// abandons a future.
-  void dispatcher_loop() {
-    std::unique_lock<std::mutex> lock(mutex);
+  void dispatcher_loop() QOC_EXCLUDES(mutex) {
+    common::UniqueLock lock(mutex);
     for (;;) {
       if (total_queued == 0) {
         if (stop) return;
-        cv.wait(lock);
+        cv.wait(mutex);
         continue;
       }
       // Expired deadlines outrank size-full buckets: under sustained
@@ -594,7 +621,7 @@ struct SessionState {
         pick = full_it;
         by_size = true;
       } else {
-        cv.wait_until(lock, earliest);
+        cv.wait_until(mutex, earliest);
         continue;
       }
 
@@ -607,9 +634,9 @@ struct SessionState {
       bool was_affinity = false;
       ReplicaLane& lane = route_locked(circuit->id, was_affinity);
       if (was_affinity)
-        ++lane.affinity_routes;
+        ++lane_stats[lane.index].affinity_routes;
       else
-        ++lane.assigned_structures;
+        ++lane_stats[lane.index].assigned_structures;
       const FlushCause cause = by_size   ? FlushCause::kSize
                                : !stop   ? FlushCause::kDeadline
                                          : FlushCause::kShutdown;
@@ -617,7 +644,7 @@ struct SessionState {
       {
         // Lock order session mutex -> lane mutex, everywhere: lanes
         // only take the session mutex with their own mutex released.
-        const std::lock_guard<std::mutex> lane_lock(lane.mutex);
+        const common::MutexLock lane_lock(lane.mutex);
         lane.queue.push_back(
             ReadyBatch{circuit, observable, std::move(batch), cause});
       }
@@ -739,19 +766,19 @@ const BackendPool& ServeSession::pool() const { return state_->pool; }
 
 void ServeSession::shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(state_->mutex);
+    const common::MutexLock lock(state_->mutex);
     state_->stop = true;
   }
   state_->cv.notify_all();
   state_->space_cv.notify_all();
-  const std::lock_guard<std::mutex> lock(state_->join_mutex);
+  const common::MutexLock lock(state_->join_mutex);
   // Join order is the drain order: the dispatcher first (it routes
   // every remaining bucket to a lane before exiting), then the lanes
   // (each drains its queue before honouring stop).
   if (state_->dispatcher.joinable()) state_->dispatcher.join();
   for (auto& lane : state_->lanes) {
     {
-      const std::lock_guard<std::mutex> lane_lock(lane->mutex);
+      const common::MutexLock lane_lock(lane->mutex);
       lane->stop = true;
     }
     lane->cv.notify_all();
@@ -764,7 +791,7 @@ CircuitHandle ServeSession::register_circuit(const circuit::Circuit& c,
                                              exec::CompileOptions options) {
   auto* s = state_.get();
   const std::uint64_t h = exec::structure_hash(c);
-  const std::lock_guard<std::mutex> lock(s->registry_mutex);
+  const common::MutexLock lock(s->registry_mutex);
   auto& bucket = s->registry[h];
   std::erase_if(bucket, [](const auto& w) { return w.expired(); });
   for (const auto& weak : bucket) {
@@ -788,7 +815,7 @@ ObservableHandle ServeSession::register_observable(
   // coalescing buckets (and result-cache keys) and never batch.
   auto* s = state_.get();
   const std::uint64_t h = detail::observable_hash(observable);
-  const std::lock_guard<std::mutex> lock(s->registry_mutex);
+  const common::MutexLock lock(s->registry_mutex);
   auto& bucket = s->obs_registry[h];
   std::erase_if(bucket, [](const auto& w) { return w.expired(); });
   for (const auto& weak : bucket) {
@@ -853,7 +880,7 @@ std::future<Result> submit_impl(
     Result hit{};
     bool found = false;
     {
-      const std::lock_guard<std::mutex> lock(s->cache_mutex);
+      const common::MutexLock lock(s->cache_mutex);
       if (const auto* entry = s->cache_find_locked(key_hash, circuit->id,
                                                    obs_id, theta, input)) {
         if constexpr (kExpect)
@@ -865,7 +892,7 @@ std::future<Result> submit_impl(
     }
     if (found) {
       {
-        const std::lock_guard<std::mutex> lock(s->mutex);
+        const common::MutexLock lock(s->mutex);
         if (s->stop) throw std::runtime_error("ServeSession: shut down");
         ++s->submitted;
         ++s->completed;
@@ -894,7 +921,7 @@ std::future<Result> submit_impl(
   }();
 
   {
-    std::unique_lock<std::mutex> lock(s->mutex);
+    common::UniqueLock lock(s->mutex);
     if (s->stop) throw std::runtime_error("ServeSession: shut down");
     // Admission control: `in_flight` counts every admitted job until
     // its future is fulfilled (coalescing, routed to a lane, or
@@ -910,9 +937,8 @@ std::future<Result> submit_impl(
             "ServeSession: queue full (max_queue reached), job shed")));
         return rejected;
       }
-      s->space_cv.wait(lock, [s] {
-        return s->stop || s->in_flight < s->options.max_queue;
-      });
+      while (!s->stop && s->in_flight >= s->options.max_queue)
+        s->space_cv.wait(s->mutex);
       if (s->stop) throw std::runtime_error("ServeSession: shut down");
     }
     ++s->in_flight;
@@ -969,7 +995,7 @@ MetricsSnapshot ServeSession::metrics() const {
   MetricsSnapshot m;
   std::vector<double> window;
   {
-    const std::lock_guard<std::mutex> lock(s->mutex);
+    const common::MutexLock lock(s->mutex);
     m.submitted = s->submitted;
     m.completed = s->completed;
     m.failed = s->failed;
@@ -987,13 +1013,14 @@ MetricsSnapshot ServeSession::metrics() const {
     for (const auto& lane : s->lanes) {
       ReplicaMetrics r;
       r.backend_name = lane->replica->name();
-      r.batches = lane->batches;
-      r.coalesced_jobs = lane->coalesced_jobs;
-      r.executed_jobs = lane->executed_jobs;
-      r.size_flushes = lane->size_flushes;
-      r.deadline_flushes = lane->deadline_flushes;
-      r.affinity_routes = lane->affinity_routes;
-      r.assigned_structures = lane->assigned_structures;
+      const detail::LaneCounters& slice = s->lane_stats[lane->index];
+      r.batches = slice.batches;
+      r.coalesced_jobs = slice.coalesced_jobs;
+      r.executed_jobs = slice.executed_jobs;
+      r.size_flushes = slice.size_flushes;
+      r.deadline_flushes = slice.deadline_flushes;
+      r.affinity_routes = slice.affinity_routes;
+      r.assigned_structures = slice.assigned_structures;
       r.inflight_jobs =
           lane->inflight_jobs.load(std::memory_order_relaxed);
       if (r.batches > 0)

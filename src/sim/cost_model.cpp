@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "qoc/common/env.hpp"
+
 namespace qoc::sim {
 
 namespace {
@@ -10,12 +12,9 @@ double pow2(int n) { return std::ldexp(1.0, n); }
 }  // namespace
 
 unsigned parse_batch_lanes(const char* s) {
-  if (s == nullptr || *s == '\0') return 0;
-  char* end = nullptr;
-  const long v = std::strtol(s, &end, 10);
-  if (end == s || *end != '\0' || v <= 0 || v > 32) return 0;
+  const unsigned v = static_cast<unsigned>(common::parse_env_uint(s, 32));
   if (v > 1 && (v % 2) != 0) return 0;  // AVX2 forms need even lanes
-  return static_cast<unsigned>(v);
+  return v;
 }
 
 std::size_t batch_lane_width(int n_qubits, std::size_t batch_size,

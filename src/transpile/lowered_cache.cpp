@@ -475,7 +475,7 @@ Transpiled RoutedProgram::transpile(
 
   std::shared_ptr<const LoweredPlan> plan;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     const auto it = cache_.find(key);
     if (it != cache_.end()) plan = it->second;
   }
@@ -499,7 +499,7 @@ Transpiled RoutedProgram::transpile(
       tmpl_, source_angles, n_device_qubits_, &out.ops);
   out.stats = fresh->stats();
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     if (cache_.size() >= kPatternCacheCap) cache_.clear();
     cache_[std::move(key)] = std::move(fresh);
   }
@@ -507,7 +507,7 @@ Transpiled RoutedProgram::transpile(
 }
 
 std::size_t RoutedProgram::cached_patterns() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   return cache_.size();
 }
 

@@ -1,0 +1,53 @@
+// Control snippet for the thread-safety gate
+// (tools/check_thread_safety_gate.sh): the same guarded counter as
+// thread_safety_violation.cpp with correct locking. Under
+//   clang++ -fsyntax-only -Werror=thread-safety
+// this TU MUST compile cleanly -- it proves a gate failure on the
+// violation snippet means "analysis caught the bug", not "the analysis
+// flags or wrapper types are themselves broken".
+//
+// NOT part of any CMake target: the tests/*.cpp glob is non-recursive.
+#include "qoc/common/mutex.hpp"
+#include "qoc/common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() QOC_EXCLUDES(mutex_) {
+    const qoc::common::MutexLock lock(mutex_);
+    ++hits_;
+  }
+  long read() const QOC_EXCLUDES(mutex_) {
+    const qoc::common::MutexLock lock(mutex_);
+    return hits_;
+  }
+  void wait_for(long target) QOC_EXCLUDES(mutex_) {
+    qoc::common::UniqueLock lock(mutex_);
+    while (hits_ < target) cv_.wait(mutex_);
+  }
+  void bump_and_notify() QOC_EXCLUDES(mutex_) {
+    {
+      const qoc::common::MutexLock lock(mutex_);
+      ++hits_;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable qoc::common::Mutex mutex_;
+  qoc::common::CondVar cv_;
+  long hits_ QOC_GUARDED_BY(mutex_) = 0;
+};
+
+long drive() {
+  Counter c;
+  c.bump();
+  c.bump_and_notify();
+  c.wait_for(2);
+  return c.read();
+}
+
+}  // namespace
+
+int main() { return static_cast<int>(drive()); }

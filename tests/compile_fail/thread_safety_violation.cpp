@@ -1,0 +1,34 @@
+// Deliberately lock-violating snippet for the thread-safety gate
+// (tools/check_thread_safety_gate.sh). Under
+//   clang++ -fsyntax-only -Werror=thread-safety
+// this TU MUST fail to compile: `hits` is guarded by `mutex` and both
+// accesses below touch it without holding the lock. If clang ever
+// accepts this file, the annotations have stopped doing anything (e.g.
+// a macro regression in thread_annotations.hpp turned them into no-ops)
+// and the gate fails the build.
+//
+// NOT part of any CMake target: the tests/*.cpp glob is non-recursive.
+#include "qoc/common/mutex.hpp"
+#include "qoc/common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_unlocked() { ++hits_; }        // write without mutex_: error
+  long read_unlocked() const { return hits_; }  // read without mutex_: error
+
+ private:
+  mutable qoc::common::Mutex mutex_;
+  long hits_ QOC_GUARDED_BY(mutex_) = 0;
+};
+
+long drive() {
+  Counter c;
+  c.bump_unlocked();
+  return c.read_unlocked();
+}
+
+}  // namespace
+
+int main() { return static_cast<int>(drive()); }

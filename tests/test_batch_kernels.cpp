@@ -124,6 +124,23 @@ TEST(BatchLanePolicy, ParseBatchLanes) {
   EXPECT_EQ(parse_batch_lanes("32"), 32u);
 }
 
+TEST(BatchLanePolicy, ParseBatchLanesStrictDigits) {
+  // QOC_BATCH_LANES goes through common::parse_env_uint (shared with
+  // QOC_THREADS), so both knobs reject garbage identically: strictly
+  // decimal digits, no signs / whitespace / radix prefixes / trailing
+  // junk, and overflow never wraps into a plausible width.
+  EXPECT_EQ(parse_batch_lanes("+8"), 0u);    // explicit sign
+  EXPECT_EQ(parse_batch_lanes(" 8"), 0u);    // leading whitespace
+  EXPECT_EQ(parse_batch_lanes("8 "), 0u);    // trailing whitespace
+  EXPECT_EQ(parse_batch_lanes("0x10"), 0u);  // hex prefix
+  EXPECT_EQ(parse_batch_lanes("1e3"), 0u);   // exponent notation
+  EXPECT_EQ(parse_batch_lanes("8.0"), 0u);   // decimal point
+  EXPECT_EQ(parse_batch_lanes("0008"), 8u);  // leading zeros are digits
+  EXPECT_EQ(parse_batch_lanes("0032"), 32u);
+  EXPECT_EQ(parse_batch_lanes("0003"), 0u);  // still odd, still rejected
+  EXPECT_EQ(parse_batch_lanes("99999999999999999999"), 0u);
+}
+
 TEST(BatchLanePolicy, CostModelCrossover) {
   // Small register + enough bindings -> full-width lane groups across
   // the whole supported range (the n = 14 group is 2 MiB, exactly the

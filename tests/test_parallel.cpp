@@ -42,8 +42,24 @@ TEST(ThreadPool, ParseThreadCountOverride) {
   EXPECT_EQ(parse_thread_count("4x"), 0u);   // trailing junk: no override
   EXPECT_EQ(parse_thread_count("4096"), 4096u);
   EXPECT_EQ(parse_thread_count("5000"), 0u);  // absurd: no override
-  // strtol overflow saturates to LONG_MAX; must not become ~4B workers.
+  // Overflowing digit strings must not wrap into a plausible count.
   EXPECT_EQ(parse_thread_count("99999999999999999999"), 0u);
+}
+
+TEST(ThreadPool, ParseThreadCountStrictDigits) {
+  // QOC_THREADS goes through common::parse_env_uint (shared with
+  // QOC_BATCH_LANES): strictly decimal digits. Everything strtol would
+  // have silently tolerated -- signs, whitespace, radix prefixes -- is
+  // garbage, i.e. no override.
+  EXPECT_EQ(parse_thread_count("+8"), 0u);    // explicit sign
+  EXPECT_EQ(parse_thread_count(" 8"), 0u);    // leading whitespace
+  EXPECT_EQ(parse_thread_count("8 "), 0u);    // trailing whitespace
+  EXPECT_EQ(parse_thread_count("0x10"), 0u);  // hex prefix
+  EXPECT_EQ(parse_thread_count("1e3"), 0u);   // exponent notation
+  EXPECT_EQ(parse_thread_count("8.0"), 0u);   // decimal point
+  EXPECT_EQ(parse_thread_count("0008"), 8u);  // leading zeros are digits
+  EXPECT_EQ(parse_thread_count("00004096"), 4096u);  // ... up to the cap
+  EXPECT_EQ(parse_thread_count("00004097"), 0u);     // ... and not past it
 }
 
 TEST(ThreadPool, StatsReportWorkersAndPendingTickets) {

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Thread-safety analysis gate: proves the QOC_* annotations are live.
+#
+# Two checks, both against clang's -Werror=thread-safety:
+#   1. tests/compile_fail/thread_safety_clean.cpp    MUST compile
+#   2. tests/compile_fail/thread_safety_violation.cpp MUST NOT compile
+#
+# (1) guards against broken wrapper types or flags (a gate that rejects
+# everything proves nothing); (2) guards against the annotations
+# degrading to no-ops (e.g. a thread_annotations.hpp macro regression),
+# which -Werror on the main build would never notice -- no-op
+# annotations produce no warnings.
+#
+# Usage: tools/check_thread_safety_gate.sh [clang++-binary]
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CXX="${1:-clang++}"
+
+if ! command -v "$CXX" >/dev/null 2>&1; then
+  echo "check_thread_safety_gate: '$CXX' not found; skipping (the gate" \
+       "only runs where clang is available)" >&2
+  exit 0
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety
+       -I "$REPO_ROOT/include")
+
+fail=0
+
+if "$CXX" "${FLAGS[@]}" \
+    "$REPO_ROOT/tests/compile_fail/thread_safety_clean.cpp"; then
+  echo "gate: clean snippet compiles under -Werror=thread-safety: OK"
+else
+  echo "gate: FAIL -- the CLEAN snippet was rejected; the annotated" \
+       "wrapper types or analysis flags are broken" >&2
+  fail=1
+fi
+
+if "$CXX" "${FLAGS[@]}" \
+    "$REPO_ROOT/tests/compile_fail/thread_safety_violation.cpp" \
+    2>/dev/null; then
+  echo "gate: FAIL -- the lock-violating snippet COMPILED; the" \
+       "thread-safety annotations are no-ops (macro regression?)" >&2
+  fail=1
+else
+  echo "gate: violation snippet rejected under -Werror=thread-safety: OK"
+fi
+
+exit "$fail"

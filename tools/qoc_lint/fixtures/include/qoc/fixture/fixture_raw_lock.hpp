@@ -1,0 +1,19 @@
+#pragma once
+// qoc_lint self-test fixture: raw standard-library lock primitives
+// outside include/qoc/common/mutex.hpp. The raw-mutex rule must fire.
+// Never compiled.
+#include <mutex>
+
+namespace qoc::fixture {
+
+struct FixtureCounter {
+  std::mutex mutex;  // seeded raw-mutex violation
+  long value = 0;
+
+  void bump() {
+    const std::lock_guard<std::mutex> lock(mutex);  // and another
+    ++value;
+  }
+};
+
+}  // namespace qoc::fixture

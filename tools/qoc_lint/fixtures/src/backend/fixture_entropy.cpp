@@ -1,0 +1,15 @@
+// qoc_lint self-test fixture: environment-derived seeding. The
+// determinism rule must fire on the random_device and time() uses (but
+// NOT on this comment, which mentions std::random_device and rand()
+// freely -- comments are stripped before matching). Never compiled.
+#include <ctime>
+#include <random>
+
+namespace qoc::backend {
+
+unsigned fixture_entropy_seed() {
+  std::random_device rd;  // seeded determinism violation
+  return rd() ^ static_cast<unsigned>(time(nullptr));  // and another
+}
+
+}  // namespace qoc::backend

@@ -1,0 +1,18 @@
+// qoc_lint self-test fixture: ad-hoc thread construction outside the
+// ThreadPool / serve-lane allowlist. The naked-threads rule must fire
+// on the member and the construction, but std::thread::
+// hardware_concurrency() is a static query and must NOT trip it.
+// Never compiled.
+#include <thread>
+
+namespace qoc::serve {
+
+struct FixtureWorker {
+  std::thread worker;  // seeded naked-threads violation
+};
+
+unsigned fixture_width() {
+  return std::thread::hardware_concurrency();  // allowed: static query
+}
+
+}  // namespace qoc::serve

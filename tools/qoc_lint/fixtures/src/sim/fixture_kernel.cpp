@@ -1,0 +1,13 @@
+// qoc_lint self-test fixture: a kernel-defining TU that (a) is missing
+// its QOC_KERNEL_FLAGS stanza in the fixture CMakeLists.txt and (b)
+// hand-writes an FMA. The kernel-flags and kernel-fma rules must both
+// fire on this file. Never compiled.
+#include <cmath>
+
+namespace qoc::sim::kernels {
+
+double fixture_axpy(double a, double x, double y) {
+  return std::fma(a, x, y);  // seeded kernel-fma violation
+}
+
+}  // namespace qoc::sim::kernels

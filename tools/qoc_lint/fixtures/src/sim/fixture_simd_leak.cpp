@@ -1,0 +1,13 @@
+// qoc_lint self-test fixture: AVX2 intrinsics in a TU not named
+// *_avx2.cpp. The avx2-containment rule must fire. Never compiled.
+#include <immintrin.h>
+
+namespace qoc::sim {
+
+void fixture_add4(double* out, const double* a, const double* b) {
+  const __m256d va = _mm256_loadu_pd(a);
+  const __m256d vb = _mm256_loadu_pd(b);
+  _mm256_storeu_pd(out, _mm256_add_pd(va, vb));
+}
+
+}  // namespace qoc::sim
