@@ -36,6 +36,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
+#include "traffic.hpp"
 
 #include <chrono>
 #include <cstdint>
@@ -48,55 +49,22 @@
 
 #include "qoc/backend/backend.hpp"
 #include "qoc/circuit/circuit.hpp"
-#include "qoc/circuit/layers.hpp"
 #include "qoc/serve/serve.hpp"
 
 namespace {
 
 using namespace qoc;
+// Traffic shapes are shared with the qoc_replay golden corpus
+// (bench/traffic.hpp) so recorded traces and these benchmarks exercise
+// identical streams.
+using traffic::base_input;
+using traffic::base_theta;
+using traffic::hot_binding;
+using traffic::unique_binding;
 
-constexpr int kQubits = 10;
-constexpr int kLayers = 2;
 constexpr std::size_t kWindow = 32;  // in-flight requests per client
 
-circuit::Circuit make_qnn10() {
-  circuit::Circuit c(kQubits);
-  circuit::add_rotation_encoder(c, kQubits);
-  for (int l = 0; l < kLayers; ++l) {
-    circuit::add_rzz_ring_layer(c);
-    circuit::add_ry_layer(c);
-  }
-  return c;
-}
-
-std::vector<double> base_theta(const circuit::Circuit& c) {
-  std::vector<double> v(static_cast<std::size_t>(c.num_trainable()));
-  for (std::size_t i = 0; i < v.size(); ++i)
-    v[i] = 0.1 * static_cast<double>(i % 7) - 0.3;
-  return v;
-}
-
-std::vector<double> base_input(const circuit::Circuit& c) {
-  std::vector<double> v(static_cast<std::size_t>(c.num_inputs()));
-  for (std::size_t i = 0; i < v.size(); ++i)
-    v[i] = 0.05 * static_cast<double>(i) + 0.1;
-  return v;
-}
-
-/// Unique binding per (thread, request serial): every request differs,
-/// nothing is cacheable.
-void unique_binding(std::vector<double>& theta, int thread,
-                    std::uint64_t serial) {
-  theta[0] = 1e-4 * static_cast<double>(serial) +
-             0.13 * static_cast<double>(thread);
-}
-
-/// Shared hot catalog: every request hits one of kHotSet popular
-/// bindings, identical across threads.
-constexpr std::uint64_t kHotSet = 64;
-void hot_binding(std::vector<double>& theta, std::uint64_t serial) {
-  theta[0] = 1e-3 * static_cast<double>(serial % kHotSet);
-}
+circuit::Circuit make_qnn10() { return traffic::qnn_circuit(); }
 
 struct ServeRig {
   circuit::Circuit qnn = make_qnn10();
@@ -270,22 +238,10 @@ BENCHMARK(BM_ServeHotSet)->Threads(8)->UseRealTime();
 // Sharded traffic shapes
 // ---------------------------------------------------------------------------
 
-constexpr int kStructures = 8;
+constexpr int kStructures = traffic::kStructures;
 
-/// Eight distinct 10-qubit structures (encoder widths 3..10), so
-/// structure-affinity routing has something to spread across replicas.
 std::vector<circuit::Circuit> make_structure_catalog() {
-  std::vector<circuit::Circuit> out;
-  for (int s = 0; s < kStructures; ++s) {
-    circuit::Circuit c(kQubits);
-    circuit::add_rotation_encoder(c, 3 + s);
-    for (int l = 0; l < kLayers; ++l) {
-      circuit::add_rzz_ring_layer(c);
-      circuit::add_ry_layer(c);
-    }
-    out.push_back(std::move(c));
-  }
-  return out;
+  return traffic::structure_catalog();
 }
 
 struct ShardedRig {

@@ -1,0 +1,82 @@
+#pragma once
+// Shared seeded traffic generators for the serve layer.
+//
+// bench_serve.cpp and the qoc_replay golden-corpus generator submit the
+// SAME streams through these helpers, so a trace recorded from a corpus
+// scenario exercises exactly the binding shapes the benchmarks measure
+// -- no drifting copies. Everything here is a pure function of its
+// arguments (no global state, no entropy), so two processes calling the
+// same sequence produce bit-identical bindings.
+
+#include <cstdint>
+#include <vector>
+
+#include "qoc/circuit/circuit.hpp"
+#include "qoc/circuit/layers.hpp"
+
+namespace qoc::traffic {
+
+inline constexpr int kQubits = 10;
+inline constexpr int kLayers = 2;
+inline constexpr int kStructures = 8;
+
+/// The canonical 10-qubit QNN-shaped workload circuit: rotation encoder
+/// + kLayers x (RZZ ring + RY layer), 50 ops.
+inline circuit::Circuit qnn_circuit() {
+  circuit::Circuit c(kQubits);
+  circuit::add_rotation_encoder(c, kQubits);
+  for (int l = 0; l < kLayers; ++l) {
+    circuit::add_rzz_ring_layer(c);
+    circuit::add_ry_layer(c);
+  }
+  return c;
+}
+
+/// Eight distinct 10-qubit structures (encoder widths 3..10), so
+/// structure-affinity routing has something to spread across replicas.
+inline std::vector<circuit::Circuit> structure_catalog() {
+  std::vector<circuit::Circuit> out;
+  for (int s = 0; s < kStructures; ++s) {
+    circuit::Circuit c(kQubits);
+    circuit::add_rotation_encoder(c, 3 + s);
+    for (int l = 0; l < kLayers; ++l) {
+      circuit::add_rzz_ring_layer(c);
+      circuit::add_ry_layer(c);
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+inline std::vector<double> base_theta(const circuit::Circuit& c) {
+  std::vector<double> v(static_cast<std::size_t>(c.num_trainable()));
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = 0.1 * static_cast<double>(i % 7) - 0.3;
+  return v;
+}
+
+inline std::vector<double> base_input(const circuit::Circuit& c) {
+  std::vector<double> v(static_cast<std::size_t>(c.num_inputs()));
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = 0.05 * static_cast<double>(i) + 0.1;
+  return v;
+}
+
+/// Unique binding per (thread, request serial): every request differs,
+/// nothing is cacheable or foldable.
+inline void unique_binding(std::vector<double>& theta, int thread,
+                           std::uint64_t serial) {
+  theta[0] = 1e-4 * static_cast<double>(serial) +
+             0.13 * static_cast<double>(thread);
+}
+
+/// Shared hot catalog: every request hits one of kHotSet popular
+/// bindings, identical across threads -- the
+/// millions-of-users-few-models traffic shape the result cache (and,
+/// with the cache off, duplicate folding) absorbs.
+inline constexpr std::uint64_t kHotSet = 64;
+inline void hot_binding(std::vector<double>& theta, std::uint64_t serial) {
+  theta[0] = 1e-3 * static_cast<double>(serial % kHotSet);
+}
+
+}  // namespace qoc::traffic

@@ -165,6 +165,49 @@ class BackendPool {
   std::vector<std::unique_ptr<backend::Backend>> owned_;  // clones only
 };
 
+/// Observer of a session's admitted traffic, for deterministic
+/// record/replay (qoc::replay implements this as replay::Recorder).
+/// The session invokes the sink at three points:
+///
+///   * on_circuit / on_observable -- once per FRESH registry entry (a
+///     register call deduplicated onto an existing entry is not
+///     re-reported; the entry's id identifies it in later jobs).
+///   * on_submit -- once per ADMITTED job, at submission time, under
+///     the session's queue lock and before the job can execute: a
+///     submission record is always observed before its result record.
+///     Shed jobs (QueueFullError) are never reported -- they consume a
+///     (client, seq) pair but produce nothing to replay; the per-client
+///     sequence in the records may therefore have gaps.
+///   * on_run_result / on_expect_result -- once per fulfilled future
+///     carrying a value (cache hits and folded duplicates included;
+///     each folded job reports the fanned-out result under its own
+///     stream). Jobs failed by a backend error report no result.
+///
+/// `stream` is ServeSession::client_stream(client, seq) -- unique per
+/// job within a session, so sinks may key pending jobs on it.
+/// Implementations must be internally synchronized (callbacks arrive
+/// from submitter and lane threads concurrently) and must not call back
+/// into the session (on_submit runs under session locks).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_circuit(std::uint64_t circuit_id,
+                          std::uint64_t structure_hash,
+                          const circuit::Circuit& circuit,
+                          const exec::CompileOptions& options) = 0;
+  virtual void on_observable(std::uint64_t observable_id,
+                             const exec::CompiledObservable& observable) = 0;
+  virtual void on_submit(std::uint32_t client, std::uint64_t seq,
+                         std::uint64_t circuit_id, std::uint64_t observable_id,
+                         std::span<const double> theta,
+                         std::span<const double> input,
+                         std::chrono::nanoseconds since_session_start,
+                         std::uint64_t stream) = 0;
+  virtual void on_run_result(std::uint64_t stream,
+                             std::span<const double> result) = 0;
+  virtual void on_expect_result(std::uint64_t stream, double result) = 0;
+};
+
 /// Coalescing, caching and admission policy of a ServeSession.
 struct ServeOptions {
   /// A structure group is drained as soon as it holds this many jobs.
@@ -193,6 +236,9 @@ struct ServeOptions {
   /// throughput knob: results are unchanged (and stochastic replicas
   /// never fold -- distinct jobs own distinct pinned streams).
   bool fold_duplicates = true;
+  /// Opt-in traffic recorder (see TraceSink). Null: no recording, no
+  /// overhead on the submit path beyond one pointer test.
+  std::shared_ptr<TraceSink> trace_sink;
 };
 
 /// Per-replica slice of the service counters: occupancy and flush
@@ -367,6 +413,24 @@ class ServeSession {
   /// so creating clients in a fixed order makes every stochastic stream
   /// assignment reproducible across runs.
   Client client();
+
+  /// Replay/tooling submission path: enqueue a job under an EXPLICIT
+  /// (client id, sequence) identity instead of a Client's private
+  /// counter, pinning exactly the PRNG stream client_stream(client_id,
+  /// seq). This is what lets qoc::replay re-submit a recorded stream
+  /// whose per-client sequences have gaps (shed jobs consume a sequence
+  /// number but are never recorded). The caller owns uniqueness: two
+  /// in-flight jobs sharing (client_id, seq) share a stream, which
+  /// breaks the determinism contract for stochastic backends and the
+  /// uniqueness TraceSink keys on. Validation and admission control
+  /// behave exactly like Client::submit / submit_expect.
+  std::future<std::vector<double>> submit_pinned(
+      std::uint32_t client_id, std::uint64_t seq, const CircuitHandle& circuit,
+      std::span<const double> theta, std::span<const double> input = {});
+  std::future<double> submit_expect_pinned(
+      std::uint32_t client_id, std::uint64_t seq, const CircuitHandle& circuit,
+      const ObservableHandle& observable, std::span<const double> theta,
+      std::span<const double> input = {});
 
   /// Stop accepting submissions (blocked submitters wake and throw),
   /// run every queued job to completion (deadlines are ignored;

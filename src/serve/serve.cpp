@@ -496,6 +496,20 @@ struct SessionState {
     lane.inflight_jobs.fetch_sub(batch.size(), std::memory_order_relaxed);
     space_cv.notify_all();
 
+    // Result records: one per fulfilled job, folded duplicates included
+    // (each reports its fanned-out copy under its own stream). Recorded
+    // before fulfilment so a trace snapshot taken after every future
+    // resolved is guaranteed complete.
+    if (auto* sink = options.trace_sink.get()) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const std::size_t e = eval_of[i];
+        if (observable == nullptr)
+          sink->on_run_result(batch[i].stream, run_results[e]);
+        else
+          sink->on_expect_result(batch[i].stream, expect_results[e]);
+      }
+    }
+
     if (cache_enabled) {
       for (const std::size_t i : leaders) {
         const std::size_t e = eval_of[i];
@@ -805,6 +819,10 @@ CircuitHandle ServeSession::register_circuit(const circuit::Circuit& c,
       s, s->next_circuit_id++, options,
       exec::CompiledCircuit::compile(c, options)});
   bucket.push_back(entry);
+  // Fresh entries only: a dedup hit above returned without reaching
+  // here, so a trace carries each structure exactly once.
+  if (auto* sink = s->options.trace_sink.get())
+    sink->on_circuit(entry->id, h, c, options);
   return CircuitHandle(std::move(entry));
 }
 
@@ -828,6 +846,8 @@ ObservableHandle ServeSession::register_observable(
       detail::ObservableEntry{s, s->next_observable_id++,
                               std::move(observable)});
   bucket.push_back(entry);
+  if (auto* sink = s->options.trace_sink.get())
+    sink->on_observable(entry->id, entry->observable);
   return ObservableHandle(std::move(entry));
 }
 
@@ -899,6 +919,19 @@ std::future<Result> submit_impl(
         ++s->cache_hits;
         s->record_latency(now, detail::Clock::now());
       }
+      // Cache hits are admitted, completed jobs: the trace records them
+      // like any other (submission immediately followed by its result),
+      // so a replay against a cache-less session reproduces them.
+      if (auto* sink = s->options.trace_sink.get()) {
+        const auto since = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now - s->started);
+        sink->on_submit(client_id, seq, circuit->id, obs_id, theta, input,
+                        since, stream);
+        if constexpr (kExpect)
+          sink->on_expect_result(stream, hit);
+        else
+          sink->on_run_result(stream, hit);
+      }
       std::promise<Result> p;
       auto f = p.get_future();
       p.set_value(std::move(hit));
@@ -942,6 +975,16 @@ std::future<Result> submit_impl(
       if (s->stop) throw std::runtime_error("ServeSession: shut down");
     }
     ++s->in_flight;
+    // Admission record, under the queue lock: the dispatcher needs this
+    // same lock to extract the job, so the sink always observes the
+    // submission before the job's result. Shed jobs returned above are
+    // never recorded -- they consumed a sequence number but produced
+    // nothing a replay could check.
+    if (auto* sink = s->options.trace_sink.get())
+      sink->on_submit(client_id, seq, circuit->id, obs_id, theta, input,
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          now - s->started),
+                      stream);
     auto& bucket = s->buckets[{circuit->id, obs_id}];
     if (bucket.circuit == nullptr) {
       bucket.circuit = circuit;
@@ -987,6 +1030,33 @@ std::future<double> ServeSession::submit_expect(
       circuit.entry_->plan.num_qubits())
     throw std::invalid_argument("serve: observable qubit count mismatch");
   return submit_impl<double>(s, c.id_, c.seq_++, circuit.entry_,
+                             observable.entry_, theta, input);
+}
+
+std::future<std::vector<double>> ServeSession::submit_pinned(
+    std::uint32_t client_id, std::uint64_t seq, const CircuitHandle& circuit,
+    std::span<const double> theta, std::span<const double> input) {
+  auto* s = state_.get();
+  validate_submission(s, circuit.entry_.get(), theta, input);
+  return submit_impl<std::vector<double>>(s, client_id, seq, circuit.entry_,
+                                          nullptr, theta, input);
+}
+
+std::future<double> ServeSession::submit_expect_pinned(
+    std::uint32_t client_id, std::uint64_t seq, const CircuitHandle& circuit,
+    const ObservableHandle& observable, std::span<const double> theta,
+    std::span<const double> input) {
+  auto* s = state_.get();
+  validate_submission(s, circuit.entry_.get(), theta, input);
+  if (!observable.valid())
+    throw std::invalid_argument("serve: submit with an empty ObservableHandle");
+  if (observable.entry_->owner != s)
+    throw std::invalid_argument(
+        "serve: ObservableHandle belongs to a different session");
+  if (observable.entry_->observable.num_qubits() !=
+      circuit.entry_->plan.num_qubits())
+    throw std::invalid_argument("serve: observable qubit count mismatch");
+  return submit_impl<double>(s, client_id, seq, circuit.entry_,
                              observable.entry_, theta, input);
 }
 

@@ -495,6 +495,103 @@ TEST(Serve, ShutdownDrainsInFlightJobsAndRejectsNewOnes) {
                std::runtime_error);
 }
 
+// Fuzz-style determinism property: N client threads each execute a
+// seeded schedule of (submit, submit_expect, duplicate-binding) actions
+// against a stochastic backend, interleaving however the scheduler
+// likes. Replaying the SAME schedules single-threaded on a fresh
+// session must reproduce every result bit-for-bit -- the PR 4 contract
+// (results are a pure function of client id, per-client seq and
+// bindings) as a randomized, reproducible property test.
+TEST(Serve, FuzzedInterleavingMatchesSingleThreadedReplayBitwise) {
+  const auto qnn = make_qnn(3, 4, 1);
+  const auto obs = vqe::compile_observable(vqe::Hamiltonian::heisenberg(3, 1.0));
+  constexpr unsigned kClients = 4;
+  constexpr unsigned kActions = 12;
+  constexpr std::uint64_t kSeed = 0xF00DFACEu;
+
+  // Seeded schedule: action a of client c is a pure function of
+  // (kSeed, c, a). An LCG step per decision keeps it self-contained.
+  auto lcg = [](std::uint64_t& s) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return s >> 33;
+  };
+  struct Action {
+    int kind;       // 0 = run, 1 = expect, 2 = duplicate of previous run
+    unsigned job;   // binding index
+  };
+  std::vector<std::vector<Action>> schedules(kClients);
+  for (unsigned c = 0; c < kClients; ++c) {
+    std::uint64_t s = kSeed + 0x9E3779B9u * (c + 1);
+    for (unsigned a = 0; a < kActions; ++a) {
+      Action act;
+      act.kind = static_cast<int>(lcg(s) % 3);
+      act.job = static_cast<unsigned>(lcg(s) % 6);
+      if (a == 0 && act.kind == 2) act.kind = 0;  // nothing to duplicate yet
+      schedules[c].push_back(act);
+    }
+  }
+
+  struct ClientResults {
+    std::vector<std::vector<double>> runs;
+    std::vector<double> expects;
+  };
+  auto run_workload = [&](bool threaded) {
+    backend::StatevectorBackend backend(/*shots=*/128, /*seed=*/7);
+    serve::ServeSession session(backend, fast_options());
+    const auto handle = session.register_circuit(qnn);
+    const auto obs_handle = session.register_observable(obs);
+    std::vector<serve::Client> clients;
+    for (unsigned c = 0; c < kClients; ++c)
+      clients.push_back(session.client());
+
+    std::vector<std::vector<std::future<std::vector<double>>>> run_futures(
+        kClients);
+    std::vector<std::vector<std::future<double>>> expect_futures(kClients);
+    auto play = [&](unsigned c) {
+      unsigned prev_run_job = 0;
+      for (const Action& act : schedules[c]) {
+        const unsigned job = act.kind == 2 ? prev_run_job : act.job;
+        const auto theta = make_theta(qnn.num_trainable(), c, job);
+        const auto input = make_input(qnn.num_inputs(), c, job);
+        if (act.kind == 1) {
+          expect_futures[c].push_back(
+              clients[c].submit_expect(handle, obs_handle, theta, input));
+        } else {
+          run_futures[c].push_back(clients[c].submit(handle, theta, input));
+          prev_run_job = job;
+        }
+      }
+    };
+    if (threaded) {
+      std::vector<std::thread> threads;
+      for (unsigned c = 0; c < kClients; ++c) threads.emplace_back(play, c);
+      for (auto& t : threads) t.join();
+    } else {
+      for (unsigned c = 0; c < kClients; ++c) play(c);
+    }
+
+    std::vector<ClientResults> results(kClients);
+    for (unsigned c = 0; c < kClients; ++c) {
+      for (auto& f : run_futures[c]) results[c].runs.push_back(f.get());
+      for (auto& f : expect_futures[c]) results[c].expects.push_back(f.get());
+    }
+    return results;
+  };
+
+  const auto threaded = run_workload(true);
+  const auto sequential = run_workload(false);
+  for (unsigned c = 0; c < kClients; ++c) {
+    ASSERT_EQ(threaded[c].runs.size(), sequential[c].runs.size());
+    ASSERT_EQ(threaded[c].expects.size(), sequential[c].expects.size());
+    for (std::size_t k = 0; k < threaded[c].runs.size(); ++k)
+      EXPECT_EQ(threaded[c].runs[k], sequential[c].runs[k])
+          << "client " << c << " run " << k;
+    for (std::size_t k = 0; k < threaded[c].expects.size(); ++k)
+      EXPECT_EQ(threaded[c].expects[k], sequential[c].expects[k])
+          << "client " << c << " expect " << k;
+  }
+}
+
 TEST(Serve, FuturesSurviveSessionDestruction) {
   const auto qnn = make_qnn(3, 4, 1);
   backend::StatevectorBackend backend(0);

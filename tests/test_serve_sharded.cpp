@@ -505,6 +505,181 @@ TEST(ServeSharded, BlockPolicyWaitsForCapacityThenAdmits) {
   EXPECT_EQ(session.metrics().shed_jobs, 0u);
 }
 
+// max_queue == 0 is the documented "unbounded" sentinel, not a
+// zero-capacity queue: nothing ever sheds or blocks, whatever the
+// backlog.
+TEST(ServeSharded, MaxQueueZeroIsUnboundedNotZeroCapacity) {
+  GateBackend gate;
+  serve::ServeOptions opt;
+  opt.max_batch = 1;
+  opt.max_delay = 1ms;
+  opt.max_queue = 0;
+  opt.overload = serve::OverloadPolicy::Shed;
+  serve::ServeSession session(gate, opt);
+  const auto qnn = make_qnn(3, 4, 1);
+  const auto handle = session.register_circuit(qnn);
+  auto client = session.client();
+
+  constexpr unsigned kJobs = 8;
+  std::vector<std::future<std::vector<double>>> futures;
+  futures.push_back(client.submit(handle, make_theta(qnn.num_trainable(), 0, 0),
+                                  make_input(qnn.num_inputs(), 0, 0)));
+  gate.wait_for_batches(1);  // lane busy: everything below is pure backlog
+  for (unsigned k = 1; k < kJobs; ++k)
+    futures.push_back(client.submit(handle,
+                                    make_theta(qnn.num_trainable(), 0, k),
+                                    make_input(qnn.num_inputs(), 0, k)));
+
+  gate.open();
+  for (auto& f : futures) EXPECT_EQ(f.get().size(), 3u);
+  const auto m = session.metrics();
+  EXPECT_EQ(m.shed_jobs, 0u);
+  EXPECT_EQ(m.submitted, kJobs);
+  EXPECT_EQ(m.completed, kJobs);
+}
+
+// The tightest real bound: max_queue == 1 admits exactly the one
+// executing job; every concurrent submit sheds, and capacity reopens
+// the moment the slot's future is fulfilled.
+TEST(ServeSharded, MaxQueueOneShedsEverythingBeyondTheSingleSlot) {
+  GateBackend gate;
+  serve::ServeOptions opt;
+  opt.max_batch = 1;
+  opt.max_delay = 1ms;
+  opt.max_queue = 1;
+  opt.overload = serve::OverloadPolicy::Shed;
+  serve::ServeSession session(gate, opt);
+  const auto qnn = make_qnn(3, 4, 1);
+  const auto handle = session.register_circuit(qnn);
+  auto client = session.client();
+
+  auto f0 = client.submit(handle, make_theta(qnn.num_trainable(), 0, 0),
+                          make_input(qnn.num_inputs(), 0, 0));
+  gate.wait_for_batches(1);  // the slot is verifiably occupied
+  for (unsigned k = 1; k <= 2; ++k) {
+    auto shed = client.submit(handle, make_theta(qnn.num_trainable(), 0, k),
+                              make_input(qnn.num_inputs(), 0, k));
+    EXPECT_THROW(shed.get(), serve::QueueFullError) << "job " << k;
+  }
+  {
+    const auto m = session.metrics();
+    EXPECT_EQ(m.shed_jobs, 2u);
+    EXPECT_EQ(m.submitted, 1u);
+  }
+
+  gate.open();
+  EXPECT_EQ(f0.get().size(), 3u);  // in_flight freed before fulfilment
+  auto f3 = client.submit(handle, make_theta(qnn.num_trainable(), 0, 3),
+                          make_input(qnn.num_inputs(), 0, 3));
+  EXPECT_EQ(f3.get().size(), 3u);
+  const auto m = session.metrics();
+  EXPECT_EQ(m.shed_jobs, 2u);
+  EXPECT_EQ(m.submitted, 2u);
+  EXPECT_EQ(m.completed, 2u);
+  EXPECT_EQ(m.failed, 0u);
+}
+
+// Shutdown must wake a Block submitter parked on the capacity condition
+// and reject its job with the post-shutdown typed error -- never leave
+// it blocked, never admit into a stopping session.
+TEST(ServeSharded, ShutdownReleasesBlockedSubmitter) {
+  GateBackend gate;
+  serve::ServeOptions opt;
+  opt.max_batch = 1;
+  opt.max_delay = 1ms;
+  opt.max_queue = 1;
+  opt.overload = serve::OverloadPolicy::Block;
+  serve::ServeSession session(gate, opt);
+  const auto qnn = make_qnn(3, 4, 1);
+  const auto handle = session.register_circuit(qnn);
+  auto client = session.client();
+  auto blocked_client = session.client();
+
+  auto f0 = client.submit(handle, make_theta(qnn.num_trainable(), 0, 0),
+                          make_input(qnn.num_inputs(), 0, 0));
+  gate.wait_for_batches(1);  // the only slot is occupied and frozen
+
+  std::atomic<bool> threw{false};
+  std::atomic<bool> returned{false};
+  std::thread submitter([&] {
+    try {
+      (void)blocked_client.submit(handle,
+                                  make_theta(qnn.num_trainable(), 1, 0),
+                                  make_input(qnn.num_inputs(), 1, 0));
+    } catch (const std::runtime_error&) {
+      threw.store(true);
+    }
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(returned.load());  // genuinely parked on capacity
+
+  // shutdown() flips stop and notifies space_cv before joining the
+  // lanes, so the waiter is released even though the lane is still
+  // frozen on the gate.
+  std::thread closer([&] { session.shutdown(); });
+  submitter.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_TRUE(threw.load());
+
+  gate.open();  // let shutdown's drain finish
+  closer.join();
+  ASSERT_EQ(f0.wait_for(0s), std::future_status::ready);
+  EXPECT_EQ(f0.get().size(), 3u);
+  const auto m = session.metrics();
+  EXPECT_EQ(m.submitted, 1u);
+  EXPECT_EQ(m.completed, 1u);
+  EXPECT_EQ(m.shed_jobs, 0u);
+}
+
+// Shed with the backlog full of foldable duplicates: admission control
+// counts JOBS, not distinct evaluations, so duplicates fill the queue
+// and shed the overflow -- while the drain still folds the admitted
+// ones into a single execution. The shed/folded counters must describe
+// disjoint populations.
+TEST(ServeSharded, ShedUnderFullQueueOfFoldedDuplicates) {
+  GateBackend gate;  // deterministic: folding stays eligible
+  serve::ServeOptions opt;
+  opt.max_batch = 4;
+  opt.max_delay = 1ms;
+  opt.max_queue = 3;
+  opt.overload = serve::OverloadPolicy::Shed;
+  serve::ServeSession session(gate, opt);
+  const auto qnn = make_qnn(3, 4, 1);
+  const auto handle = session.register_circuit(qnn);
+  auto client = session.client();
+
+  auto f0 = client.submit(handle, make_theta(qnn.num_trainable(), 0, 0),
+                          make_input(qnn.num_inputs(), 0, 0));
+  gate.wait_for_batches(1);  // in_flight == 1, lane frozen
+
+  // Two identical-binding duplicates fill the remaining capacity...
+  const auto dup_theta = make_theta(qnn.num_trainable(), 0, 9);
+  const auto dup_input = make_input(qnn.num_inputs(), 0, 9);
+  auto f1 = client.submit(handle, dup_theta, dup_input);
+  auto f2 = client.submit(handle, dup_theta, dup_input);
+  // ... so a third duplicate sheds even though, post-fold, it would
+  // have cost nothing to execute: the admission bound is on jobs.
+  auto f3 = client.submit(handle, dup_theta, dup_input);
+  EXPECT_THROW(f3.get(), serve::QueueFullError);
+
+  gate.open();
+  EXPECT_EQ(f0.get().size(), 3u);
+  const auto r1 = f1.get();
+  EXPECT_EQ(r1, f2.get());  // folded fan-out: identical results
+
+  backend::StatevectorBackend direct(0);
+  EXPECT_EQ(r1, direct.run(qnn, dup_theta, dup_input));
+
+  const auto m = session.metrics();
+  EXPECT_EQ(m.submitted, 3u);      // shed job was never admitted
+  EXPECT_EQ(m.completed, 3u);
+  EXPECT_EQ(m.shed_jobs, 1u);
+  EXPECT_EQ(m.folded_jobs, 1u);    // one duplicate folded onto its leader
+  EXPECT_EQ(m.failed, 0u);
+  EXPECT_EQ(gate.inference_count(), 2u);  // job 0 + one folded execution
+}
+
 // ---------------------------------------------------------------------------
 // Shutdown, metrics, construction
 // ---------------------------------------------------------------------------

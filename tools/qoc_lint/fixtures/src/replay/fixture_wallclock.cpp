@@ -1,0 +1,19 @@
+// qoc_lint self-test fixture: wall-clock timestamps in the replay
+// layer. Trace logs carry monotonic deltas from the recorded session;
+// stamping them from std::chrono::system_clock would make replays
+// depend on when they run, so the determinism rule must fire on the
+// use below (but NOT on this comment -- comments are stripped before
+// matching). Never compiled.
+#include <chrono>
+#include <cstdint>
+
+namespace qoc::replay {
+
+std::int64_t fixture_wallclock_stamp() {
+  const auto now = std::chrono::system_clock::now();  // determinism violation
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace qoc::replay

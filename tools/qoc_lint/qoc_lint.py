@@ -316,7 +316,8 @@ def lint(root):
 EXPECTED_FIXTURE_HITS = {
     "kernel-flags": {"src/sim/fixture_kernel.cpp"},
     "avx2-containment": {"src/sim/fixture_simd_leak.cpp"},
-    "determinism": {"src/backend/fixture_entropy.cpp"},
+    "determinism": {"src/backend/fixture_entropy.cpp",
+                    "src/replay/fixture_wallclock.cpp"},
     "naked-threads": {"src/serve/fixture_adhoc_thread.cpp"},
     "kernel-fma": {"src/sim/fixture_kernel.cpp"},
     "raw-mutex": {"include/qoc/fixture/fixture_raw_lock.hpp"},
