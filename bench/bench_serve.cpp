@@ -49,6 +49,7 @@
 
 #include "qoc/backend/backend.hpp"
 #include "qoc/circuit/circuit.hpp"
+#include "qoc/obs/obs.hpp"
 #include "qoc/serve/serve.hpp"
 
 namespace {
@@ -353,6 +354,46 @@ void BM_ServeHotDuplicates(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServeHotDuplicates)->Arg(0)->Arg(1)->Threads(8)->UseRealTime();
+
+/// Observability overhead on the serve hot path: identical coalesced
+/// unique-binding traffic with the span tracer off (arg 0) vs on
+/// (arg 1). The delta between the two lines bounds the cost of
+/// QOC_OBS=1 instrumentation (spans, async job events, counters) per
+/// submit->fulfil roundtrip; a QOC_OBS=0 build compiles it all away.
+/// Negative rig keys keep these sessions' lifetime metrics separate
+/// from the throughput lines.
+void BM_ServeObsOverhead(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  auto& rig = rig_for(0, traced ? -1 : -2);
+  if (traced)
+    obs::Tracer::instance().start(1 << 20);
+  else
+    obs::Tracer::instance().stop();
+  auto client = rig.session.client();
+  std::vector<double> theta = base_theta(rig.qnn);
+  const std::vector<double> input = base_input(rig.qnn);
+  std::vector<std::future<std::vector<double>>> futures;
+  futures.reserve(kWindow);
+  std::uint64_t serial = 0;
+  for (auto _ : state) {
+    futures.clear();
+    for (std::size_t w = 0; w < kWindow; ++w) {
+      unique_binding(theta, state.thread_index(), serial++);
+      futures.push_back(client.submit(rig.handle, theta, input));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kWindow));
+  if (traced) {
+    obs::Tracer::instance().stop();
+    state.counters["trace_events"] = static_cast<double>(
+        obs::Tracer::instance().recorded_events());
+    obs::Tracer::instance().clear();
+  }
+  export_serve_counters(state, rig.session);
+}
+BENCHMARK(BM_ServeObsOverhead)->Arg(0)->Arg(1)->UseRealTime();
 
 }  // namespace
 

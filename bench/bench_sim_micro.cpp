@@ -12,6 +12,7 @@
 #include "qoc/common/prng.hpp"
 #include "qoc/data/images.hpp"
 #include "qoc/exec/compiled_circuit.hpp"
+#include "qoc/obs/obs.hpp"
 #include "qoc/qml/qnn.hpp"
 #include "qoc/sim/gates.hpp"
 #include "qoc/sim/kernels.hpp"
@@ -54,6 +55,36 @@ void BM_Apply1qScalar(benchmark::State& state) {
   apply_1q_cycle(state, sim::kernels::KernelMode::Scalar);
 }
 BENCHMARK(BM_Apply1qScalar)->Arg(16)->Arg(20);
+
+/// Observability overhead on a kernel-scale inner loop: the same 1q
+/// cycle with one QOC_TRACE_SPAN per gate, tracer disabled (arg 1 = 0,
+/// cost of the enabled-flag check) vs enabled (arg 1 = 1, two clock
+/// reads + one ring write per span). The production instrumentation
+/// spans batches, not gates; this line is the worst-case per-event
+/// bound quoted in the docs. QOC_OBS=0 builds compile the span away.
+void BM_Apply1qSpanOverhead(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool traced = state.range(1) != 0;
+  if (traced)
+    obs::Tracer::instance().start(1 << 16);
+  else
+    obs::Tracer::instance().stop();
+  sim::Statevector sv(n);
+  const auto g = sim::gate_ry(0.7);
+  int q = 0;
+  for (auto _ : state) {
+    QOC_TRACE_SPAN("bench", "apply_1q");
+    sv.apply_1q(g, q);
+    q = (q + 1) % n;
+  }
+  if (traced) {
+    obs::Tracer::instance().stop();
+    obs::Tracer::instance().clear();
+  }
+  state.SetItemsProcessed(state.iterations() << n);
+  state.SetLabel(traced ? "traced" : "untraced");
+}
+BENCHMARK(BM_Apply1qSpanOverhead)->Args({12, 0})->Args({12, 1});
 
 void apply_2q_cycle(benchmark::State& state, sim::kernels::KernelMode mode) {
   const int n = static_cast<int>(state.range(0));

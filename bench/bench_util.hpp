@@ -12,7 +12,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,10 +23,30 @@
 #include "qoc/data/images.hpp"
 #include "qoc/data/vowel.hpp"
 #include "qoc/noise/device_model.hpp"
+#include "qoc/obs/metrics.hpp"
 #include "qoc/qml/qnn.hpp"
 #include "qoc/train/training_engine.hpp"
 
 namespace qoc::benchutil {
+
+/// Splices the process-wide metrics registry into an already-written
+/// BENCH_<name>.json (as a top-level "qoc_metrics" object before the
+/// closing brace), so counters accumulated across the bench run --
+/// cache hit rates, batch/flush mix, latency histograms -- travel with
+/// the perf lines in the CI artifact.
+inline void embed_metrics_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  const auto pos = doc.find_last_of('}');
+  if (pos == std::string::npos) return;
+  std::ofstream out(path, std::ios::trunc);
+  out << doc.substr(0, pos) << ",\n  \"qoc_metrics\": "
+      << obs::Registry::global().json_dump() << "\n"
+      << doc.substr(pos);
+}
 
 /// main() body for google-benchmark binaries that understand `--json`:
 /// strips the flag from argv and, when present, appends
@@ -53,6 +75,7 @@ inline int run_benchmarks_with_json(int argc, char** argv, const char* name) {
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (json) embed_metrics_json(std::string("BENCH_") + name + ".json");
   return 0;
 }
 

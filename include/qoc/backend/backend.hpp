@@ -43,6 +43,7 @@
 #include "qoc/exec/observable.hpp"
 #include "qoc/noise/channels.hpp"
 #include "qoc/noise/device_model.hpp"
+#include "qoc/obs/obs.hpp"
 #include "qoc/sim/density_matrix.hpp"
 #include "qoc/transpile/lowered_cache.hpp"
 #include "qoc/transpile/transpile.hpp"
@@ -96,6 +97,8 @@ class Backend {
       const exec::CompiledCircuit& plan,
       std::span<const exec::Evaluation> evals, unsigned threads = 1) {
     add_inferences(evals.size());
+    QOC_TRACE_SPAN_ARG("backend", "run_batch", "evals", evals.size());
+    QOC_METRIC_SCOPED_TIMER_NS("qoc_backend_run_batch_ns");
     return execute_batch(plan, evals, threads);
   }
 
@@ -119,6 +122,8 @@ class Backend {
                                    unsigned threads = 1) {
     if (observable.num_qubits() != plan.num_qubits())
       throw std::invalid_argument("expect_batch: qubit count mismatch");
+    QOC_TRACE_SPAN_ARG("backend", "expect_batch", "evals", evals.size());
+    QOC_METRIC_SCOPED_TIMER_NS("qoc_backend_expect_batch_ns");
     return execute_expect_batch(plan, observable, evals, threads);
   }
 

@@ -1,0 +1,33 @@
+#pragma once
+// The one sanctioned monotonic clock for qoc timing code.
+//
+// Every wall-clock read in src/ and include/ must flow through this
+// header: the qoc_lint "obs-clock" rule bans naked
+// std::chrono::steady_clock outside qoc::obs so that (a) tracing and
+// metrics timestamps are guaranteed mutually comparable and (b) a
+// future switch to a cheaper raw-TSC source is a one-file change.
+// bench/ and tools/ are exempt (they time from the outside).
+//
+// Timing is pure observation: nothing in the stack may branch on a
+// clock value in a way that changes numerical results (the determinism
+// contract -- see qoc_lint "determinism").
+
+#include <chrono>
+#include <cstdint>
+
+namespace qoc::obs {
+
+using Clock = std::chrono::steady_clock;
+
+inline Clock::time_point now() noexcept { return Clock::now(); }
+
+/// Monotonic nanoseconds since an arbitrary process-stable epoch.
+/// The raw unit for every obs histogram and trace timestamp.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace qoc::obs

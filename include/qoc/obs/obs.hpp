@@ -1,0 +1,9 @@
+#pragma once
+// Umbrella header for the qoc::obs observability layer: the sanctioned
+// clock, the metrics registry (counters / gauges / histograms +
+// Prometheus and JSON exporters) and the span tracer (Chrome
+// trace_event JSON). See src/README.md "Observability".
+
+#include "qoc/obs/clock.hpp"
+#include "qoc/obs/metrics.hpp"
+#include "qoc/obs/trace.hpp"

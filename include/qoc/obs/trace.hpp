@@ -1,0 +1,201 @@
+#pragma once
+// qoc::obs span tracer: lock-light structured tracing into per-thread
+// ring buffers, collected into Chrome trace_event JSON
+// (chrome://tracing / Perfetto).
+//
+// Model:
+//   * QOC_TRACE_SPAN opens an RAII scope span; the single ring entry is
+//     written at scope exit with both timestamps (a Chrome "X"
+//     complete event), so a span costs two clock reads and one
+//     uncontended lock when tracing is on, and one relaxed atomic load
+//     when tracing is off.
+//   * QOC_TRACE_ASYNC_BEGIN/END emit id-linked "b"/"e" events for
+//     spans that cross threads (a serve job travels submitter ->
+//     dispatcher -> drain lane; its stable id is the PRNG stream id).
+//   * QOC_TRACE_COUNTER emits a "C" sample (queue depths, occupancy)
+//     that Chrome renders as a stacked time series.
+//
+// Each recording thread owns a fixed-capacity ring guarded by its own
+// common::Mutex -- uncontended on the hot path (only the collector
+// ever takes it from another thread), TSAN-clean, and visible to the
+// clang thread-safety leg. When a ring wraps, the oldest events are
+// overwritten and counted in dropped_events().
+//
+// All name/cat strings passed to the tracer must be string literals
+// (events store the pointers, not copies).
+//
+// The tracer is pure observation: tier-1 results are bitwise identical
+// with tracing on or off, and with QOC_OBS=0 the macros compile away
+// entirely.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qoc/common/mutex.hpp"
+#include "qoc/common/thread_annotations.hpp"
+#include "qoc/obs/clock.hpp"
+
+#ifndef QOC_OBS
+#define QOC_OBS 1
+#endif
+
+namespace qoc::obs {
+
+/// One trace event. `phase` uses the Chrome trace_event phase letters:
+/// 'X' complete span, 'b'/'e' async begin/end (linked by `id`),
+/// 'C' counter sample, 'i' instant.
+struct TraceEvent {
+  const char* cat = nullptr;
+  const char* name = nullptr;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;   // 'X' only
+  std::uint64_t id = 0;       // 'b'/'e' only
+  double value = 0.0;         // 'C' only
+  const char* arg_key = nullptr;  // optional single annotation
+  std::int64_t arg_val = 0;
+  char phase = 'X';
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Clears all rings and enables recording. `ring_capacity` is per
+  /// recording thread (events, not bytes).
+  void start(std::size_t ring_capacity = 1 << 16);
+  /// Disables recording; collected rings stay readable.
+  void stop();
+  /// Drops all recorded events (rings stay registered).
+  void clear();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Events overwritten by ring wrap-around since start().
+  std::uint64_t dropped_events() const;
+  /// Events currently held across all rings.
+  std::uint64_t recorded_events() const;
+
+  /// Stitches every thread's ring into one Chrome trace_event JSON
+  /// document ({"traceEvents":[...]}), events sorted by timestamp,
+  /// one event per line, timestamps rebased to the earliest event.
+  std::string chrome_json() const;
+
+  // Static record entry points (what the QOC_TRACE_* macros call).
+  // No-ops while disabled.
+  static void complete(const char* cat, const char* name,
+                       std::uint64_t ts_ns, std::uint64_t dur_ns,
+                       const char* arg_key = nullptr,
+                       std::int64_t arg_val = 0) noexcept;
+  static void async_begin(const char* cat, const char* name,
+                          std::uint64_t id) noexcept;
+  static void async_end(const char* cat, const char* name,
+                        std::uint64_t id) noexcept;
+  static void counter(const char* name, double value) noexcept;
+  static void instant(const char* cat, const char* name) noexcept;
+
+ private:
+  struct ThreadBuffer;
+
+  Tracer() = default;
+  void push(const TraceEvent& e) noexcept;
+  std::shared_ptr<ThreadBuffer> local_buffer();
+  std::vector<std::shared_ptr<ThreadBuffer>> snapshot_buffers() const
+      QOC_EXCLUDES(mu_);
+
+  std::atomic<bool> enabled_{false};
+  mutable common::Mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ QOC_GUARDED_BY(mu_);
+  std::size_t capacity_ QOC_GUARDED_BY(mu_) = 1 << 16;
+  std::uint32_t next_tid_ QOC_GUARDED_BY(mu_) = 1;
+};
+
+/// RAII complete-span scope. Reads the clock only while the tracer is
+/// enabled; records one 'X' event at destruction.
+class SpanGuard {
+ public:
+  SpanGuard(const char* cat, const char* name) noexcept
+      : cat_(cat), name_(name), active_(Tracer::instance().enabled()) {
+    if (active_) t0_ = now_ns();
+  }
+  SpanGuard(const char* cat, const char* name, const char* arg_key,
+            std::int64_t arg_val) noexcept
+      : SpanGuard(cat, name) {
+    arg_key_ = arg_key;
+    arg_val_ = arg_val;
+  }
+  ~SpanGuard() {
+    if (active_)
+      Tracer::complete(cat_, name_, t0_, now_ns() - t0_, arg_key_, arg_val_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  /// Attach (or overwrite) the span's single key/value annotation.
+  void annotate(const char* key, std::int64_t value) noexcept {
+    arg_key_ = key;
+    arg_val_ = value;
+  }
+
+ private:
+  const char* cat_;
+  const char* name_;
+  const char* arg_key_ = nullptr;
+  std::int64_t arg_val_ = 0;
+  std::uint64_t t0_ = 0;
+  bool active_;
+};
+
+/// What QOC_TRACE_SPAN_NAMED declares when QOC_OBS=0: an empty object
+/// whose annotate() inlines to nothing, so annotation call sites
+/// compile in both modes.
+struct NullSpan {
+  void annotate(const char*, std::int64_t) noexcept {}
+};
+
+}  // namespace qoc::obs
+
+#define QOC_OBS_CONCAT_INNER(a, b) a##b
+#define QOC_OBS_CONCAT(a, b) QOC_OBS_CONCAT_INNER(a, b)
+
+#if QOC_OBS
+
+/// Complete span covering the enclosing scope.
+#define QOC_TRACE_SPAN(cat, name) \
+  ::qoc::obs::SpanGuard QOC_OBS_CONCAT(qoc_obs_span_, __LINE__)(cat, name)
+
+/// Complete span with one integer annotation rendered in args{}.
+#define QOC_TRACE_SPAN_ARG(cat, name, key, val)                         \
+  ::qoc::obs::SpanGuard QOC_OBS_CONCAT(qoc_obs_span_, __LINE__)(        \
+      cat, name, key, static_cast<std::int64_t>(val))
+
+/// Named span variable, for spans that annotate mid-scope:
+///   QOC_TRACE_SPAN_NAMED(span, "serve", "drain");
+///   ... span.annotate("jobs", batch.size());
+#define QOC_TRACE_SPAN_NAMED(var, cat, name) \
+  ::qoc::obs::SpanGuard var(cat, name)
+
+#define QOC_TRACE_ASYNC_BEGIN(cat, name, id) \
+  ::qoc::obs::Tracer::async_begin(cat, name, static_cast<std::uint64_t>(id))
+#define QOC_TRACE_ASYNC_END(cat, name, id) \
+  ::qoc::obs::Tracer::async_end(cat, name, static_cast<std::uint64_t>(id))
+#define QOC_TRACE_COUNTER(name, value) \
+  ::qoc::obs::Tracer::counter(name, static_cast<double>(value))
+#define QOC_TRACE_INSTANT(cat, name) ::qoc::obs::Tracer::instant(cat, name)
+
+#else  // !QOC_OBS
+
+#define QOC_TRACE_SPAN(cat, name) ((void)0)
+#define QOC_TRACE_SPAN_ARG(cat, name, key, val) ((void)0)
+#define QOC_TRACE_SPAN_NAMED(var, cat, name) ::qoc::obs::NullSpan var
+
+#define QOC_TRACE_ASYNC_BEGIN(cat, name, id) ((void)0)
+#define QOC_TRACE_ASYNC_END(cat, name, id) ((void)0)
+#define QOC_TRACE_COUNTER(name, value) ((void)0)
+#define QOC_TRACE_INSTANT(cat, name) ((void)0)
+
+#endif  // QOC_OBS

@@ -258,10 +258,11 @@ struct ReplicaMetrics {
   double mean_batch_occupancy = 0.0;  // coalesced_jobs / batches
 };
 
-/// Point-in-time service counters. Latency percentiles are computed
-/// over a sliding window of the most recent completions (cache hits
-/// included -- they are served requests too). Aggregate batch/flush
-/// counters are the sums of the per-replica slices.
+/// Point-in-time service counters. Latency percentiles are estimated
+/// from a full-history log-scale histogram of every completion (cache
+/// hits included -- they are served requests too): exact below 8ns,
+/// within 6.25% relative error above. Aggregate batch/flush counters
+/// are the sums of the per-replica slices.
 struct MetricsSnapshot {
   std::uint64_t submitted = 0;        // jobs accepted (incl. cache hits)
   std::uint64_t completed = 0;        // futures fulfilled with a value

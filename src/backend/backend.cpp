@@ -110,7 +110,11 @@ std::shared_ptr<const transpile::RoutedProgram> TranspileCache::get(
   const auto it = cache_.find(plan.structure_hash());
   if (it != cache_.end())
     for (const auto& [sig, tmpl] : it->second)
-      if (sig == plan.signature()) return tmpl;
+      if (sig == plan.signature()) {
+        QOC_METRIC_COUNTER_ADD("qoc_transpile_cache_hits_total", 1);
+        return tmpl;
+      }
+  QOC_METRIC_COUNTER_ADD("qoc_transpile_cache_misses_total", 1);
   if (entries_ >= kTranspileCacheCap) {
     cache_.clear();
     entries_ = 0;
@@ -178,6 +182,10 @@ std::vector<std::vector<double>> StatevectorBackend::execute_batch(
   // the partition point is invisible in the results.
   const std::size_t lanes = sim::batch_lane_width(n, evals.size(), batch_lanes_);
   const std::size_t grouped = lanes > 1 ? (evals.size() / lanes) * lanes : 0;
+  // `lanes` is the cost model's k-wide SoA verdict; the span shows how
+  // much of a served batch actually ran grouped vs on the scalar tail.
+  QOC_TRACE_SPAN_ARG("kernel", "sv_batch", "lanes",
+                     static_cast<std::int64_t>(lanes));
 
   if (shots_ == 0) {
     // Exact mode: stateless, lock-free; scales linearly with threads.
@@ -290,6 +298,8 @@ std::vector<double> StatevectorBackend::execute_expect_batch(
   // Same evaluation-major partition as execute_batch.
   const std::size_t lanes = sim::batch_lane_width(n, evals.size(), batch_lanes_);
   const std::size_t grouped = lanes > 1 ? (evals.size() / lanes) * lanes : 0;
+  QOC_TRACE_SPAN_ARG("kernel", "sv_expect_batch", "lanes",
+                     static_cast<std::int64_t>(lanes));
 
   if (shots_ == 0) {
     // Exact mode: one state per evaluation, every term analytic. The

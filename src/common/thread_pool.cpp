@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "qoc/obs/metrics.hpp"
+
 namespace qoc::common {
 
 namespace {
@@ -41,6 +43,8 @@ void ThreadPool::worker_loop() {
       if (tickets_.empty()) return;  // stop_ set and queue drained
       job = std::move(tickets_.front());
       tickets_.pop_front();
+      QOC_METRIC_GAUGE_SET("qoc_threadpool_pending_tickets",
+                           tickets_.size());
     }
     help(*job);
   }
@@ -101,6 +105,8 @@ void ThreadPool::run_impl(std::size_t begin, std::size_t end, ChunkFnPtr fn,
     {
       const MutexLock lock(mutex_);
       for (std::size_t i = 0; i < helpers; ++i) tickets_.push_back(job);
+      QOC_METRIC_GAUGE_SET("qoc_threadpool_pending_tickets",
+                           tickets_.size());
     }
     if (helpers == 1)
       cv_.notify_one();

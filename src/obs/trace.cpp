@@ -1,0 +1,270 @@
+// Span tracer internals: per-thread ring buffers and the Chrome
+// trace_event JSON collector.
+//
+// Each recording thread lazily registers one ThreadBuffer with the
+// singleton tracer and keeps a shared_ptr to it in a thread_local, so
+// the buffer outlives the thread (drain-lane threads die before the
+// session collects) and the collector can walk every ring without
+// joining anyone. The per-buffer mutex is uncontended on the record
+// path -- only the collector and clear() ever take it cross-thread.
+
+#include "qoc/obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace qoc::obs {
+
+struct Tracer::ThreadBuffer {
+  common::Mutex mu;
+  std::vector<TraceEvent> ring QOC_GUARDED_BY(mu);
+  std::size_t cap QOC_GUARDED_BY(mu) = 0;
+  std::uint64_t written QOC_GUARDED_BY(mu) = 0;  // total pushes since clear
+  std::uint32_t tid = 0;                         // stable, set at registration
+};
+
+Tracer& Tracer::instance() {
+  static Tracer* t = new Tracer();  // never destroyed (mirrors Registry)
+  return *t;
+}
+
+std::shared_ptr<Tracer::ThreadBuffer> Tracer::local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> tls;
+  if (!tls) {
+    tls = std::make_shared<ThreadBuffer>();
+    common::MutexLock lock(mu_);
+    tls->tid = next_tid_++;
+    {
+      common::MutexLock bl(tls->mu);
+      tls->cap = capacity_;
+      tls->ring.reserve(std::min<std::size_t>(capacity_, 1024));
+    }
+    buffers_.push_back(tls);
+  }
+  return tls;
+}
+
+std::vector<std::shared_ptr<Tracer::ThreadBuffer>> Tracer::snapshot_buffers()
+    const {
+  common::MutexLock lock(mu_);
+  return buffers_;
+}
+
+void Tracer::start(std::size_t ring_capacity) {
+  {
+    common::MutexLock lock(mu_);
+    capacity_ = ring_capacity == 0 ? 1 : ring_capacity;
+  }
+  clear();
+  // clear() re-caps every ring; enable only after rings are consistent.
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::clear() {
+  std::size_t cap;
+  {
+    common::MutexLock lock(mu_);
+    cap = capacity_;
+  }
+  for (const auto& buf : snapshot_buffers()) {
+    common::MutexLock bl(buf->mu);
+    buf->ring.clear();
+    buf->cap = cap;
+    buf->written = 0;
+  }
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  std::uint64_t dropped = 0;
+  for (const auto& buf : snapshot_buffers()) {
+    common::MutexLock bl(buf->mu);
+    if (buf->written > buf->cap) dropped += buf->written - buf->cap;
+  }
+  return dropped;
+}
+
+std::uint64_t Tracer::recorded_events() const {
+  std::uint64_t n = 0;
+  for (const auto& buf : snapshot_buffers()) {
+    common::MutexLock bl(buf->mu);
+    n += buf->ring.size();
+  }
+  return n;
+}
+
+void Tracer::push(const TraceEvent& e) noexcept {
+  if (!enabled()) return;
+  auto buf = local_buffer();
+  common::MutexLock bl(buf->mu);
+  if (buf->ring.size() < buf->cap) {
+    buf->ring.push_back(e);
+  } else {
+    // Ring wrap: overwrite the oldest slot (insertion order is
+    // recovered at collection from `written`).
+    buf->ring[buf->written % buf->cap] = e;
+  }
+  ++buf->written;
+}
+
+void Tracer::complete(const char* cat, const char* name, std::uint64_t ts_ns,
+                      std::uint64_t dur_ns, const char* arg_key,
+                      std::int64_t arg_val) noexcept {
+  TraceEvent e;
+  e.cat = cat;
+  e.name = name;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.arg_key = arg_key;
+  e.arg_val = arg_val;
+  e.phase = 'X';
+  instance().push(e);
+}
+
+void Tracer::async_begin(const char* cat, const char* name,
+                         std::uint64_t id) noexcept {
+  Tracer& t = instance();
+  if (!t.enabled()) return;  // skip the clock read entirely
+  TraceEvent e;
+  e.cat = cat;
+  e.name = name;
+  e.ts_ns = now_ns();
+  e.id = id;
+  e.phase = 'b';
+  t.push(e);
+}
+
+void Tracer::async_end(const char* cat, const char* name,
+                       std::uint64_t id) noexcept {
+  Tracer& t = instance();
+  if (!t.enabled()) return;
+  TraceEvent e;
+  e.cat = cat;
+  e.name = name;
+  e.ts_ns = now_ns();
+  e.id = id;
+  e.phase = 'e';
+  t.push(e);
+}
+
+void Tracer::counter(const char* name, double value) noexcept {
+  Tracer& t = instance();
+  if (!t.enabled()) return;
+  TraceEvent e;
+  e.cat = "counter";
+  e.name = name;
+  e.ts_ns = now_ns();
+  e.value = value;
+  e.phase = 'C';
+  t.push(e);
+}
+
+void Tracer::instant(const char* cat, const char* name) noexcept {
+  Tracer& t = instance();
+  if (!t.enabled()) return;
+  TraceEvent e;
+  e.cat = cat;
+  e.name = name;
+  e.ts_ns = now_ns();
+  e.phase = 'i';
+  t.push(e);
+}
+
+namespace {
+
+struct CollectedEvent {
+  TraceEvent ev;
+  std::uint32_t tid;
+};
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+/// Chrome's `ts`/`dur` unit is microseconds; emit ns-resolution
+/// fractional microseconds.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string Tracer::chrome_json() const {
+  std::vector<CollectedEvent> events;
+  for (const auto& buf : snapshot_buffers()) {
+    common::MutexLock bl(buf->mu);
+    const std::size_t n = buf->ring.size();
+    // Oldest-first: a wrapped ring starts at written % cap.
+    const std::size_t start =
+        buf->written > buf->cap ? buf->written % buf->cap : 0;
+    for (std::size_t i = 0; i < n; ++i)
+      events.push_back({buf->ring[(start + i) % n], buf->tid});
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const CollectedEvent& a, const CollectedEvent& b) {
+                     return a.ev.ts_ns < b.ev.ts_ns;
+                   });
+  std::uint64_t base = events.empty() ? 0 : events.front().ev.ts_ns;
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& [ev, tid] : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, ev.name);
+    out += "\",\"cat\":\"";
+    append_json_escaped(out, ev.cat);
+    out += "\",\"ph\":\"";
+    out += ev.phase;
+    out += "\",\"ts\":";
+    append_us(out, ev.ts_ns - base);
+    if (ev.phase == 'X') {
+      out += ",\"dur\":";
+      append_us(out, ev.dur_ns);
+    }
+    if (ev.phase == 'b' || ev.phase == 'e') {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%" PRIx64 "\"", ev.id);
+      out += buf;
+    }
+    out += ",\"pid\":1,\"tid\":";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u", tid);
+    out += buf;
+    if (ev.phase == 'C') {
+      char vbuf[64];
+      std::snprintf(vbuf, sizeof(vbuf), ",\"args\":{\"value\":%.3f}",
+                    ev.value);
+      out += vbuf;
+    } else if (ev.arg_key != nullptr) {
+      out += ",\"args\":{\"";
+      append_json_escaped(out, ev.arg_key);
+      char abuf[32];
+      std::snprintf(abuf, sizeof(abuf), "\":%" PRId64 "}", ev.arg_val);
+      out += abuf;
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace qoc::obs

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "qoc/exec/compiled_circuit.hpp"
+#include "qoc/obs/obs.hpp"
 
 namespace qoc::replay {
 namespace {
@@ -850,7 +851,7 @@ ReplayReport replay(const TraceLog& log, backend::Backend& backend,
                        std::to_string(j.observable_id));
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = obs::now();
   std::vector<std::future<std::vector<double>>> run_futures(log.jobs.size());
   std::vector<std::future<double>> expect_futures(log.jobs.size());
   for (std::size_t i = 0; i < log.jobs.size(); ++i) {
@@ -894,8 +895,10 @@ ReplayReport replay(const TraceLog& log, backend::Backend& backend,
         j.is_expect ? std::vector<double>{j.expect_result} : j.run_result;
     if (!failed && doubles_equal_bitwise(expected, actual)) {
       ++report.matched;
+      QOC_METRIC_COUNTER_ADD("qoc_replay_matched_total", 1);
     } else {
       ++report.diverged;
+      QOC_METRIC_COUNTER_ADD("qoc_replay_divergences_total", 1);
       d.expected = expected;
       d.actual = std::move(actual);
       report.divergences.push_back(std::move(d));

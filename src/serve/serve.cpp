@@ -15,11 +15,29 @@
 #include "qoc/common/mutex.hpp"
 #include "qoc/common/thread_annotations.hpp"
 #include "qoc/common/thread_pool.hpp"
+#include "qoc/obs/obs.hpp"
 
 namespace qoc::serve {
 namespace detail {
 
-using Clock = std::chrono::steady_clock;
+using Clock = obs::Clock;
+
+namespace {
+
+/// Gauge update helper for per-lane gauges (names are dynamic, so the
+/// static-caching QOC_METRIC_* macros cannot serve them; the session
+/// resolves each lane's gauge once at construction). Compiles to
+/// nothing at QOC_OBS=0.
+inline void set_gauge(obs::Gauge* g, std::int64_t v) noexcept {
+#if QOC_OBS
+  if (g != nullptr) g->set(v);
+#else
+  (void)g;
+  (void)v;
+#endif
+}
+
+}  // namespace
 
 struct CircuitEntry {
   const SessionState* owner = nullptr;
@@ -159,6 +177,9 @@ struct ReplicaLane {
   bool stop QOC_GUARDED_BY(mutex) = false;
   std::thread worker;
   std::atomic<std::size_t> inflight_jobs{0};
+  // Per-lane occupancy gauge ("qoc_serve_lane<i>_inflight_jobs"),
+  // resolved once at session construction; null at QOC_OBS=0.
+  obs::Gauge* inflight_gauge = nullptr;
 };
 
 /// Per-replica counter slice, indexed by ReplicaLane::index. Owned by
@@ -211,10 +232,10 @@ struct SessionState {
   std::uint64_t size_flushes QOC_GUARDED_BY(mutex) = 0;
   std::uint64_t deadline_flushes QOC_GUARDED_BY(mutex) = 0;
   std::size_t peak_queue_depth QOC_GUARDED_BY(mutex) = 0;
-  static constexpr std::size_t kLatencyWindow = 8192;
-  std::vector<double> latency_us QOC_GUARDED_BY(mutex) =
-      std::vector<double>(kLatencyWindow, 0.0);
-  std::size_t latency_pos QOC_GUARDED_BY(mutex) = 0;
+  // Full-history submit->fulfil latency histogram (wait-free atomics,
+  // deliberately outside the mutex): feeds the metrics() percentiles,
+  // replacing the former 8192-sample ring window and its sorted copy.
+  obs::Histogram latency_hist;
   // Per-replica counter slices, one per lane (ReplicaLane::index).
   std::vector<LaneCounters> lane_stats QOC_GUARDED_BY(mutex);
 
@@ -263,6 +284,10 @@ struct SessionState {
       lanes.push_back(std::make_unique<ReplicaLane>());
       lanes.back()->replica = &pool.replica(i);
       lanes.back()->index = i;
+#if QOC_OBS
+      lanes.back()->inflight_gauge = &obs::Registry::global().gauge(
+          "qoc_serve_lane" + std::to_string(i) + "_inflight_jobs");
+#endif
     }
   }
 
@@ -279,12 +304,13 @@ struct SessionState {
     return common::ThreadPool::global().fair_share(requested, drains_now);
   }
 
-  void record_latency(Clock::time_point enqueued, Clock::time_point now)
-      QOC_REQUIRES(mutex) {
-    const double us =
-        std::chrono::duration<double, std::micro>(now - enqueued).count();
-    latency_us[latency_pos % kLatencyWindow] = us;
-    ++latency_pos;
+  void record_latency(Clock::time_point enqueued, Clock::time_point now) {
+    const auto d =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - enqueued);
+    const std::uint64_t ns =
+        d.count() < 0 ? 0 : static_cast<std::uint64_t>(d.count());
+    latency_hist.record(ns);
+    QOC_METRIC_HISTOGRAM_NS("qoc_serve_latency_ns", ns);
   }
 
   // ---- result cache -------------------------------------------------------
@@ -361,14 +387,18 @@ struct SessionState {
     ++slice.batches;
     coalesced_jobs += jobs;
     slice.coalesced_jobs += jobs;
+    QOC_METRIC_COUNTER_ADD("qoc_serve_batches_total", 1);
+    QOC_METRIC_COUNTER_ADD("qoc_serve_coalesced_jobs_total", jobs);
     switch (cause) {
       case FlushCause::kSize:
         ++size_flushes;
         ++slice.size_flushes;
+        QOC_METRIC_COUNTER_ADD("qoc_serve_size_flushes_total", 1);
         break;
       case FlushCause::kDeadline:
         ++deadline_flushes;
         ++slice.deadline_flushes;
+        QOC_METRIC_COUNTER_ADD("qoc_serve_deadline_flushes_total", 1);
         break;
       case FlushCause::kShutdown:
         break;
@@ -393,6 +423,11 @@ struct SessionState {
     const auto& circuit = ready.circuit;
     const auto& observable = ready.observable;
     std::vector<Job>& batch = ready.jobs;
+    // One complete span per drained batch; the per-job async spans
+    // opened at submission close inside it, linking each job's
+    // timeline to the batch that served it.
+    QOC_TRACE_SPAN_NAMED(drain_span, "serve", "drain");
+    drain_span.annotate("jobs", static_cast<std::int64_t>(batch.size()));
 
     // In-flight duplicate folding: on a deterministic replica,
     // bitwise-identical bindings in this batch collapse to one
@@ -472,9 +507,15 @@ struct SessionState {
         failed += batch.size();
         in_flight -= batch.size();
       }
-      lane.inflight_jobs.fetch_sub(batch.size(), std::memory_order_relaxed);
+      QOC_METRIC_COUNTER_ADD("qoc_serve_jobs_failed_total", batch.size());
+      const std::size_t left_failed =
+          lane.inflight_jobs.fetch_sub(batch.size(),
+                                       std::memory_order_relaxed) -
+          batch.size();
+      set_gauge(lane.inflight_gauge, static_cast<std::int64_t>(left_failed));
       space_cv.notify_all();
       for (Job& j : batch) {
+        QOC_TRACE_ASYNC_END("serve", "job", j.stream);
         if (j.is_expect)
           j.expect_promise.set_exception(error);
         else
@@ -493,7 +534,13 @@ struct SessionState {
       in_flight -= batch.size();
       for (const Job& j : batch) record_latency(j.enqueued, now);
     }
-    lane.inflight_jobs.fetch_sub(batch.size(), std::memory_order_relaxed);
+    QOC_METRIC_COUNTER_ADD("qoc_serve_jobs_completed_total", batch.size());
+    QOC_METRIC_COUNTER_ADD("qoc_serve_jobs_folded_total",
+                           batch.size() - leaders.size());
+    const std::size_t left =
+        lane.inflight_jobs.fetch_sub(batch.size(), std::memory_order_relaxed) -
+        batch.size();
+    set_gauge(lane.inflight_gauge, static_cast<std::int64_t>(left));
     space_cv.notify_all();
 
     // Result records: one per fulfilled job, folded duplicates included
@@ -533,6 +580,7 @@ struct SessionState {
     for (std::size_t i = 0; i < batch.size(); ++i) last_user[eval_of[i]] = i;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const std::size_t e = eval_of[i];
+      QOC_TRACE_ASYNC_END("serve", "job", batch[i].stream);
       if (observable == nullptr) {
         if (last_user[e] == i)
           batch[i].run_promise.set_value(std::move(run_results[e]));
@@ -647,14 +695,24 @@ struct SessionState {
 
       bool was_affinity = false;
       ReplicaLane& lane = route_locked(circuit->id, was_affinity);
-      if (was_affinity)
+      if (was_affinity) {
         ++lane_stats[lane.index].affinity_routes;
-      else
+        QOC_METRIC_COUNTER_ADD("qoc_serve_affinity_routes_total", 1);
+      } else {
         ++lane_stats[lane.index].assigned_structures;
+        QOC_METRIC_COUNTER_ADD("qoc_serve_assigned_structures_total", 1);
+      }
       const FlushCause cause = by_size   ? FlushCause::kSize
                                : !stop   ? FlushCause::kDeadline
                                          : FlushCause::kShutdown;
-      lane.inflight_jobs.fetch_add(batch.size(), std::memory_order_relaxed);
+      QOC_TRACE_SPAN_ARG("serve", "route", "lane",
+                         static_cast<std::int64_t>(lane.index));
+      QOC_TRACE_COUNTER("qoc_serve_queue_depth", total_queued);
+      const std::size_t routed =
+          lane.inflight_jobs.fetch_add(batch.size(),
+                                       std::memory_order_relaxed) +
+          batch.size();
+      set_gauge(lane.inflight_gauge, static_cast<std::int64_t>(routed));
       {
         // Lock order session mutex -> lane mutex, everywhere: lanes
         // only take the session mutex with their own mutex released.
@@ -885,6 +943,7 @@ std::future<Result> submit_impl(
     const std::shared_ptr<const detail::ObservableEntry>& observable,
     std::span<const double> theta, std::span<const double> input) {
   constexpr bool kExpect = std::is_same_v<Result, double>;
+  QOC_TRACE_SPAN("serve", "submit");
   const auto now = detail::Clock::now();
   const std::uint64_t stream = ServeSession::client_stream(client_id, seq);
   const std::uint64_t obs_id = kExpect ? observable->id : 0;
@@ -919,6 +978,9 @@ std::future<Result> submit_impl(
         ++s->cache_hits;
         s->record_latency(now, detail::Clock::now());
       }
+      QOC_METRIC_COUNTER_ADD("qoc_serve_jobs_submitted_total", 1);
+      QOC_METRIC_COUNTER_ADD("qoc_serve_jobs_completed_total", 1);
+      QOC_METRIC_COUNTER_ADD("qoc_serve_cache_hits_total", 1);
       // Cache hits are admitted, completed jobs: the trace records them
       // like any other (submission immediately followed by its result),
       // so a replay against a cache-less session reproduces them.
@@ -963,6 +1025,7 @@ std::future<Result> submit_impl(
     if (s->options.max_queue > 0 && s->in_flight >= s->options.max_queue) {
       if (s->options.overload == OverloadPolicy::Shed) {
         ++s->shed_jobs;
+        QOC_METRIC_COUNTER_ADD("qoc_serve_jobs_shed_total", 1);
         lock.unlock();
         std::promise<Result> p;
         auto rejected = p.get_future();
@@ -996,6 +1059,11 @@ std::future<Result> submit_impl(
     ++s->total_queued;
     ++s->submitted;
     s->peak_queue_depth = std::max(s->peak_queue_depth, s->total_queued);
+    QOC_METRIC_COUNTER_ADD("qoc_serve_jobs_submitted_total", 1);
+    // Per-job async span: begins at admission, ends when the drain
+    // lane fulfils the promise; the stable PRNG stream id links the
+    // two sides across threads.
+    QOC_TRACE_ASYNC_BEGIN("serve", "job", stream);
     // A job never shortens an existing bucket's deadline, so the
     // dispatcher only needs a nudge when a new deadline appears or a
     // size flush becomes possible.
@@ -1063,7 +1131,6 @@ std::future<double> ServeSession::submit_expect_pinned(
 MetricsSnapshot ServeSession::metrics() const {
   const auto* s = state_.get();
   MetricsSnapshot m;
-  std::vector<double> window;
   {
     const common::MutexLock lock(s->mutex);
     m.submitted = s->submitted;
@@ -1098,18 +1165,20 @@ MetricsSnapshot ServeSession::metrics() const {
                                  static_cast<double>(r.batches);
       m.replicas.push_back(std::move(r));
     }
-    const std::size_t filled =
-        std::min(s->latency_pos, detail::SessionState::kLatencyWindow);
-    window.assign(s->latency_us.begin(),
-                  s->latency_us.begin() + static_cast<std::ptrdiff_t>(filled));
   }
   if (m.batches > 0)
     m.mean_batch_occupancy = static_cast<double>(m.coalesced_jobs) /
                              static_cast<double>(m.batches);
-  if (!window.empty()) {
-    std::sort(window.begin(), window.end());
-    m.p50_latency_us = window[(window.size() - 1) / 2];
-    m.p99_latency_us = window[(window.size() - 1) * 99 / 100];
+  // Percentiles come from the session's full-history log-scale
+  // histogram (exact below 8ns, <=6.25% relative error above; same
+  // rank convention as indexing the sorted window this replaced). The
+  // histogram is lock-free, so no mutex hold and no O(n log n) sort on
+  // the metrics path.
+  if (s->latency_hist.count() > 0) {
+    m.p50_latency_us =
+        static_cast<double>(s->latency_hist.quantile_ns(0.50)) / 1000.0;
+    m.p99_latency_us =
+        static_cast<double>(s->latency_hist.quantile_ns(0.99)) / 1000.0;
   }
   const double elapsed_s = std::chrono::duration<double>(
                                detail::Clock::now() - s->started)

@@ -17,6 +17,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "qoc/obs/metrics.hpp"
 #include "qoc/sim/gates.hpp"
 #include "qoc/transpile/optimize.hpp"
 
@@ -484,9 +485,13 @@ Transpiled RoutedProgram::transpile(
   out.final_layout = tmpl_.final_layout;
   out.n_swaps_inserted = tmpl_.n_swaps_inserted;
   if (plan != nullptr && plan->substitute(source_angles, out.ops)) {
+    QOC_METRIC_COUNTER_ADD("qoc_pattern_cache_hits_total", 1);
     out.stats = plan->stats();
     return out;
   }
+  // Plain miss and replay-failed decision flip both count as misses:
+  // either way this binding pays a fresh lowering trace.
+  QOC_METRIC_COUNTER_ADD("qoc_pattern_cache_misses_total", 1);
 
   // Miss, or a decision flipped within the pattern (e.g. merged
   // rotations cancelling for this binding only): trace fresh, taking

@@ -1,0 +1,17 @@
+// Seeded violation for the obs-clock rule: a library TU reading
+// steady_clock directly instead of going through obs::now().
+// This file lives under tools/qoc_lint/fixtures/ and never joins a
+// build target.
+
+#include <chrono>
+#include <cstdint>
+
+namespace qoc::exec {
+
+std::uint64_t fixture_elapsed_ns() {
+  const auto t0 = std::chrono::steady_clock::now();  // obs-clock
+  return static_cast<std::uint64_t>(
+      (std::chrono::steady_clock::now() - t0).count());
+}
+
+}  // namespace qoc::exec

@@ -51,6 +51,17 @@ says what*. This linter makes them mechanical:
                       (common::Mutex / MutexLock / UniqueLock / CondVar)
                       so clang -Wthread-safety sees every lock.
 
+  obs-clock           steady_clock reads are confined to qoc::obs
+                      (include/qoc/obs/, src/obs/). Library code that
+                      wants a timestamp must go through obs::now() /
+                      obs::now_ns() (or record into an obs metric), so
+                      every clock read is auditable as pure observation
+                      -- scattered steady_clock::now() calls are how
+                      time leaks into control decisions and breaks the
+                      determinism contract. Timeout *arithmetic* on
+                      time_points/durations is fine; it is the
+                      `steady_clock` spelling that is confined.
+
 Comments and string literals are stripped before pattern matching, so
 documentation mentioning a forbidden construct does not trip the rules.
 
@@ -277,6 +288,22 @@ def rule_raw_mutex(root, files):
                 "sees the lock")
 
 
+OBS_CLOCK_HOME_PREFIXES = ("include/qoc/obs/", "src/obs/")
+OBS_CLOCK = re.compile(r"\bsteady_clock\b")
+
+
+def rule_obs_clock(root, files):
+    for path, text in files.items():
+        if path.startswith(OBS_CLOCK_HOME_PREFIXES):
+            continue
+        for line in find_lines(OBS_CLOCK, text):
+            yield Violation(
+                "obs-clock", path, line,
+                "steady_clock outside qoc::obs; read time through "
+                "obs::now()/obs::now_ns() (qoc/obs/clock.hpp) so every "
+                "clock read is auditable as pure observation")
+
+
 RULES = [
     rule_kernel_flags,
     rule_avx2_containment,
@@ -284,6 +311,7 @@ RULES = [
     rule_naked_threads,
     rule_kernel_fma,
     rule_raw_mutex,
+    rule_obs_clock,
 ]
 
 RULE_NAMES = [
@@ -293,6 +321,7 @@ RULE_NAMES = [
     "naked-threads",
     "kernel-fma",
     "raw-mutex",
+    "obs-clock",
 ]
 
 
@@ -321,6 +350,7 @@ EXPECTED_FIXTURE_HITS = {
     "naked-threads": {"src/serve/fixture_adhoc_thread.cpp"},
     "kernel-fma": {"src/sim/fixture_kernel.cpp"},
     "raw-mutex": {"include/qoc/fixture/fixture_raw_lock.hpp"},
+    "obs-clock": {"src/exec/fixture_raw_clock.cpp"},
 }
 
 
