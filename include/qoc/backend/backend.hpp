@@ -312,6 +312,15 @@ struct NoisyBackendOptions {
   /// bit-identical either way, this is purely a speed knob / kill
   /// switch.
   bool fuse_trajectory_gates = true;
+  /// Evaluation-major (k-wide) lane policy for the TRAJECTORY loop:
+  /// each execution evolves k noise trajectories in lockstep on a
+  /// sim::BatchedStatevector lane group (uniform gates, per-lane Kraus
+  /// draws from each trajectory's own pinned stream). Same semantics as
+  /// StatevectorBackendOptions::batch_lanes: -1 defers to the cost
+  /// model, 0 or 1 forces the scalar trajectory loop, >= 2 pins the
+  /// width; QOC_BATCH_LANES overrides. Per-trajectory results are
+  /// bit-identical at every width.
+  int batch_lanes = -1;
 };
 
 /// Device routing computed once per circuit structure and reused for

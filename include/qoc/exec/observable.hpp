@@ -107,9 +107,11 @@ class CompiledObservable {
 
   /// Same suffix on every lane of a batched state (one application per
   /// lane group -- the k-wide sampled path measures each group once per
-  /// lane group, not once per lane). No layout: the lane path only runs
-  /// on the unrouted statevector backend.
-  void apply_suffix_lanes(sim::BatchedStatevector& psi, std::size_t g) const;
+  /// lane group, not once per lane). `layout` works as in apply_suffix;
+  /// the k-wide noisy-trajectory path passes the device routing's final
+  /// layout so lane groups measure the routed physical register.
+  void apply_suffix_lanes(sim::BatchedStatevector& psi, std::size_t g,
+                          std::span<const int> layout = {}) const;
 
   /// Energy contribution of group g from full-register samples drawn
   /// AFTER apply_suffix: sum over member terms of coeff * mean parity.

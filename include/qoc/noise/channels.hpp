@@ -14,11 +14,13 @@
 // of the density-matrix evolution that keeps memory at O(2^n) instead of
 // O(4^n).
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "qoc/common/prng.hpp"
 #include "qoc/linalg/matrix.hpp"
+#include "qoc/sim/batched_statevector.hpp"
 #include "qoc/sim/statevector.hpp"
 
 namespace qoc::noise {
@@ -45,6 +47,21 @@ class KrausChannel {
   std::size_t sample_and_apply(sim::Statevector& sv,
                                const std::vector<int>& qubits,
                                qoc::Prng& rng) const;
+
+  /// k-wide trajectory step: one Born draw and branch application per
+  /// lane of a batched state, each lane using its own stream.
+  /// `lane_rngs` must have sv.lanes() entries; a nullptr entry marks a
+  /// padding lane (ragged trajectory tail): it consumes no randomness
+  /// and gets branch 0, staying a valid discarded state. Per ACTIVE
+  /// lane the weights, the draw, the branch walk, the applied matrix
+  /// and the renormalization are bit-identical to sample_and_apply on
+  /// that lane's state -- the weight passes and the normalization just
+  /// run k accumulator chains at once, which is what makes per-gate
+  /// relaxation affordable in the k-wide trajectory path.
+  /// Single-qubit channels only (the trajectory noise model's
+  /// relaxation channels); throws for arity 2.
+  void sample_and_apply_lanes(sim::BatchedStatevector& sv, int qubit,
+                              std::span<qoc::Prng* const> lane_rngs) const;
 
  private:
   std::string name_;

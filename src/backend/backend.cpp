@@ -1,5 +1,6 @@
 #include "qoc/backend/backend.hpp"
 
+#include <array>
 #include <bit>
 #include <cmath>
 #include <functional>
@@ -167,6 +168,49 @@ std::vector<double> expectations_from_samples(
   return acc;
 }
 
+/// One lane group of an evaluation-major partition. `evals` always
+/// holds part.lanes entries -- the compacted ragged tail's final group
+/// is padded by repeating its last real evaluation -- and first/real
+/// locate the real work: results and RNG streams exist only for lanes
+/// l < real; padding lanes compute a discarded state and never touch a
+/// stream.
+struct LaneGroup {
+  std::span<const exec::Evaluation> evals;
+  std::size_t first = 0;
+  std::size_t real = 0;
+};
+
+LaneGroup lane_group(std::span<const exec::Evaluation> evals,
+                     const sim::LanePartition& part, std::size_t g,
+                     std::vector<exec::Evaluation>& padded_scratch) {
+  const std::size_t first = g * part.lanes;
+  if (g < part.full_groups)
+    return {evals.subspan(first, part.lanes), first, part.lanes};
+  const auto tail = evals.subspan(first, part.padded_evals);
+  padded_scratch.assign(tail.begin(), tail.end());
+  padded_scratch.resize(part.lanes, tail.back());
+  return {padded_scratch, first, part.padded_evals};
+}
+
+/// Lane-policy observability: how much of a dispatch ran k-wide, how
+/// many padding lanes the compacted ragged tail burned, and how many
+/// work items fell through to the scalar path. Counts work items
+/// (evaluations or noise trajectories), never drives control flow.
+void note_lane_metrics(const sim::LanePartition& part, std::size_t total) {
+  if (part.lanes > 1) {
+    QOC_METRIC_COUNTER_ADD("qoc_sim_lane_wide_groups_total", part.groups());
+    QOC_METRIC_COUNTER_ADD("qoc_sim_lane_wide_evals_total", part.tail_start);
+    if (part.padded_evals > 0) {
+      QOC_METRIC_COUNTER_ADD("qoc_sim_lane_tail_compacted_evals_total",
+                             part.padded_evals);
+      QOC_METRIC_COUNTER_ADD("qoc_sim_lane_tail_padding_lanes_total",
+                             part.lanes - part.padded_evals);
+    }
+  }
+  QOC_METRIC_COUNTER_ADD("qoc_sim_lane_scalar_evals_total",
+                         total - part.tail_start);
+}
+
 }  // namespace
 
 std::vector<std::vector<double>> StatevectorBackend::execute_batch(
@@ -175,13 +219,17 @@ std::vector<std::vector<double>> StatevectorBackend::execute_batch(
   const int n = plan.num_qubits();
   std::vector<std::vector<double>> results(evals.size());
 
-  // Evaluation-major partition: the first `grouped` evaluations execute
-  // k lanes at a time on a BatchedStatevector; the scalar loop handles
-  // the tail (and the whole batch when the cost model says lanes == 1).
-  // Lane L of a group evolves bit-identically to the scalar path, so
-  // the partition point is invisible in the results.
-  const std::size_t lanes = sim::batch_lane_width(n, evals.size(), batch_lanes_);
-  const std::size_t grouped = lanes > 1 ? (evals.size() / lanes) * lanes : 0;
+  // Evaluation-major partition: lane groups execute k evaluations at a
+  // time on a BatchedStatevector -- the final group of a ragged batch
+  // may be padded (tail compaction) -- and the scalar loop handles
+  // whatever the partition left over (the whole batch when the
+  // calibrated cost model says lanes == 1). Lane L of a group evolves
+  // bit-identically to the scalar path and padding lanes are discarded,
+  // so the partition is invisible in the results.
+  const sim::LanePartition part =
+      sim::partition_lanes(n, evals.size(), batch_lanes_);
+  const std::size_t lanes = part.lanes;
+  note_lane_metrics(part, evals.size());
   // `lanes` is the cost model's k-wide SoA verdict; the span shows how
   // much of a served batch actually ran grouped vs on the scalar tail.
   QOC_TRACE_SPAN_ARG("kernel", "sv_batch", "lanes",
@@ -191,22 +239,24 @@ std::vector<std::vector<double>> StatevectorBackend::execute_batch(
     // Exact mode: stateless, lock-free; scales linearly with threads.
     // Chunked so the angle buffer and statevector are constructed once
     // per worker chunk instead of once per evaluation.
-    if (grouped > 0) {
+    if (part.groups() > 0) {
       parallel_for_chunked(
-          0, grouped / lanes,
+          0, part.groups(),
           [&](std::size_t glo, std::size_t ghi) {
             std::vector<double> angles;
             std::vector<double> zexp;
+            std::vector<exec::Evaluation> padded;
             sim::BatchedStatevector bsv(n, lanes);
             for (std::size_t g = glo; g < ghi; ++g) {
-              plan.resolve_slots_lanes(evals.subspan(g * lanes, lanes), angles);
+              const LaneGroup grp = lane_group(evals, part, g, padded);
+              plan.resolve_slots_lanes(grp.evals, angles);
               bsv.reset();
               plan.apply_batched(bsv, angles);
               // One fused measurement pass for the whole lane group
               // (bit-identical per lane to expectation_z_all(l)).
               bsv.expectation_z_all_lanes(zexp);
-              for (std::size_t l = 0; l < lanes; ++l) {
-                auto& r = results[g * lanes + l];
+              for (std::size_t l = 0; l < grp.real; ++l) {
+                auto& r = results[grp.first + l];
                 r.resize(static_cast<std::size_t>(n));
                 for (int q = 0; q < n; ++q)
                   r[static_cast<std::size_t>(q)] = zexp[
@@ -217,7 +267,7 @@ std::vector<std::vector<double>> StatevectorBackend::execute_batch(
           threads);
     }
     parallel_for_chunked(
-        grouped, evals.size(),
+        part.tail_start, evals.size(),
         [&](std::size_t lo, std::size_t hi) {
           std::vector<double> angles;
           sim::Statevector sv(n);
@@ -250,18 +300,20 @@ std::vector<std::vector<double>> StatevectorBackend::execute_batch(
                          ? rng_.split()
                          : stream_rng(evals[k].rng_stream));
   }
-  if (grouped > 0) {
+  if (part.groups() > 0) {
     parallel_for_chunked(
-        0, grouped / lanes,
+        0, part.groups(),
         [&](std::size_t glo, std::size_t ghi) {
           std::vector<double> angles;
+          std::vector<exec::Evaluation> padded;
           sim::BatchedStatevector bsv(n, lanes);
           for (std::size_t g = glo; g < ghi; ++g) {
-            plan.resolve_slots_lanes(evals.subspan(g * lanes, lanes), angles);
+            const LaneGroup grp = lane_group(evals, part, g, padded);
+            plan.resolve_slots_lanes(grp.evals, angles);
             bsv.reset();
             plan.apply_batched(bsv, angles);
-            for (std::size_t l = 0; l < lanes; ++l) {
-              const std::size_t k = g * lanes + l;
+            for (std::size_t l = 0; l < grp.real; ++l) {
+              const std::size_t k = grp.first + l;
               const auto samples = bsv.sample(l, shots_, rngs[k]);
               results[k] = expectations_from_samples(samples, n, shots_);
             }
@@ -270,7 +322,7 @@ std::vector<std::vector<double>> StatevectorBackend::execute_batch(
         threads);
   }
   parallel_for_chunked(
-      grouped, evals.size(),
+      part.tail_start, evals.size(),
       [&](std::size_t lo, std::size_t hi) {
         std::vector<double> angles;
         sim::Statevector sv(n);
@@ -295,9 +347,12 @@ std::vector<double> StatevectorBackend::execute_expect_batch(
   const std::size_t n_groups = observable.groups().size();
   std::vector<double> results(evals.size());
 
-  // Same evaluation-major partition as execute_batch.
-  const std::size_t lanes = sim::batch_lane_width(n, evals.size(), batch_lanes_);
-  const std::size_t grouped = lanes > 1 ? (evals.size() / lanes) * lanes : 0;
+  // Same evaluation-major partition as execute_batch (tail compaction
+  // included).
+  const sim::LanePartition part =
+      sim::partition_lanes(n, evals.size(), batch_lanes_);
+  const std::size_t lanes = part.lanes;
+  note_lane_metrics(part, evals.size());
   QOC_TRACE_SPAN_ARG("kernel", "sv_expect_batch", "lanes",
                      static_cast<std::int64_t>(lanes));
 
@@ -308,24 +363,31 @@ std::vector<double> StatevectorBackend::execute_expect_batch(
     // replays the same loop with each term's Pauli product applied once
     // per lane group.
     add_inferences(evals.size());
-    if (grouped > 0) {
+    if (part.groups() > 0) {
       parallel_for_chunked(
-          0, grouped / lanes,
+          0, part.groups(),
           [&](std::size_t glo, std::size_t ghi) {
             std::vector<double> angles;
+            std::vector<double> lane_out;
+            std::vector<exec::Evaluation> padded;
             sim::BatchedStatevector bsv(n, lanes);
             for (std::size_t g = glo; g < ghi; ++g) {
-              plan.resolve_slots_lanes(evals.subspan(g * lanes, lanes), angles);
+              const LaneGroup grp = lane_group(evals, part, g, padded);
+              plan.resolve_slots_lanes(grp.evals, angles);
               bsv.reset();
               plan.apply_batched(bsv, angles);
-              observable.expectation_lanes(
-                  bsv, std::span<double>(results).subspan(g * lanes, lanes));
+              // Full-width scratch: a padded group still computes every
+              // lane; only the real entries land in results.
+              lane_out.assign(lanes, 0.0);
+              observable.expectation_lanes(bsv, lane_out);
+              for (std::size_t l = 0; l < grp.real; ++l)
+                results[grp.first + l] = lane_out[l];
             }
           },
           threads);
     }
     parallel_for_chunked(
-        grouped, evals.size(),
+        part.tail_start, evals.size(),
         [&](std::size_t lo, std::size_t hi) {
           std::vector<double> angles;
           sim::Statevector sv(n);
@@ -360,19 +422,21 @@ std::vector<double> StatevectorBackend::execute_expect_batch(
                          ? rng_.split()
                          : stream_rng(evals[k].rng_stream));
   }
-  if (grouped > 0) {
+  if (part.groups() > 0) {
     parallel_for_chunked(
-        0, grouped / lanes,
+        0, part.groups(),
         [&](std::size_t glo, std::size_t ghi) {
           std::vector<double> angles;
+          std::vector<exec::Evaluation> padded;
           sim::BatchedStatevector bsv(n, lanes);
           sim::BatchedStatevector bmeas(n, lanes);  // suffix scratch
           for (std::size_t g = glo; g < ghi; ++g) {
-            plan.resolve_slots_lanes(evals.subspan(g * lanes, lanes), angles);
+            const LaneGroup grp = lane_group(evals, part, g, padded);
+            plan.resolve_slots_lanes(grp.evals, angles);
             bsv.reset();
             plan.apply_batched(bsv, angles);
-            for (std::size_t l = 0; l < lanes; ++l)
-              results[g * lanes + l] = observable.constant();
+            for (std::size_t l = 0; l < grp.real; ++l)
+              results[grp.first + l] = observable.constant();
             for (std::size_t gi = 0; gi < n_groups; ++gi) {
               // One suffix application per lane group per commuting
               // group (not per lane); all-Z groups skip the copy.
@@ -382,8 +446,8 @@ std::vector<double> StatevectorBackend::execute_expect_batch(
                 observable.apply_suffix_lanes(bmeas, gi);
                 src = &bmeas;
               }
-              for (std::size_t l = 0; l < lanes; ++l) {
-                const std::size_t k = g * lanes + l;
+              for (std::size_t l = 0; l < grp.real; ++l) {
+                const std::size_t k = grp.first + l;
                 const auto samples = src->sample(l, shots_, rngs[k]);
                 results[k] +=
                     observable.group_energy_from_samples(samples, gi, shots_);
@@ -394,7 +458,7 @@ std::vector<double> StatevectorBackend::execute_expect_batch(
         threads);
   }
   parallel_for_chunked(
-      grouped, evals.size(),
+      part.tail_start, evals.size(),
       [&](std::size_t lo, std::size_t hi) {
         std::vector<double> angles;
         sim::Statevector sv(n);
@@ -664,6 +728,41 @@ void inject_depolarizing(sim::Statevector& sv, int q0, int q1, double p,
   apply_pauli(pb, q1);
 }
 
+/// Depolarizing error on ONE lane of a k-wide trajectory group: the
+/// same draw and branch selection as inject_depolarizing, with the
+/// Paulis applied through the single-lane kernels (bit-identical on
+/// that lane, every other lane untouched).
+void inject_depolarizing_lane(sim::BatchedStatevector& bsv, std::size_t lane,
+                              int q0, int q1, double p, Prng& rng) {
+  if (p <= 0.0) return;
+  if (q1 < 0) {
+    const double u = rng.uniform();
+    if (u >= 0.75 * p) return;
+    const int which = static_cast<int>(u / (0.25 * p));
+    switch (which) {
+      case 0: bsv.apply_pauli_x_lane(q0, lane); break;
+      case 1: bsv.apply_pauli_y_lane(q0, lane); break;
+      default: bsv.apply_pauli_z_lane(q0, lane); break;
+    }
+    return;
+  }
+  const double u = rng.uniform();
+  if (u >= 15.0 / 16.0 * p) return;
+  const int idx = 1 + static_cast<int>(u / (p / 16.0));  // 1..15
+  const int pa = idx >> 2;
+  const int pb = idx & 3;
+  auto apply_pauli = [&bsv, lane](int pauli, int q) {
+    switch (pauli) {
+      case 1: bsv.apply_pauli_x_lane(q, lane); break;
+      case 2: bsv.apply_pauli_y_lane(q, lane); break;
+      case 3: bsv.apply_pauli_z_lane(q, lane); break;
+      default: break;
+    }
+  };
+  apply_pauli(pa, q0);
+  apply_pauli(pb, q1);
+}
+
 /// Per-evaluation trajectory program: the transpiled op stream with all
 /// structure-dependent work (matrix construction, kernel selection, noise
 /// classification) hoisted out of the trajectory loop. With 64
@@ -757,6 +856,30 @@ struct TrajectoryProgram {
         break;
     }
   }
+
+  /// Same op on every lane of a k-wide trajectory group. The transpiled
+  /// gate stream is binding-independent, so all trajectories share it;
+  /// per lane each uniform application is bit-identical to apply() on
+  /// that lane's state (the batched kernels' per-lane contract).
+  void apply_lanes(sim::BatchedStatevector& bsv, const Op& op) const {
+    switch (op.k) {
+      case K::Rz:
+        bsv.apply_diag_1q(op.d0, op.d1, op.q0);
+        break;
+      case K::Sx:
+        bsv.apply_1q(sx, op.q0);
+        break;
+      case K::X:
+        bsv.apply_pauli_x(op.q0);
+        break;
+      case K::Cx:
+        bsv.apply_cx(op.q0, op.q1);
+        break;
+      case K::Diag2q:
+        bsv.apply_diag_2q(op.d0, op.d1, op.d1, op.d0, op.q0, op.q1);
+        break;
+    }
+  }
 };
 
 }  // namespace
@@ -829,6 +952,48 @@ struct NoisyBackend::NoiseTables {
       }
     }
   }
+
+  /// Evolve one lane group of noisy trajectories in lockstep: the
+  /// uniform gate stream applies to all lanes at once, and every noise
+  /// event draws per lane from that trajectory's own stream (ascending
+  /// lane order at each event -- within a single stream the order is
+  /// exactly evolve()'s, so lane L is bit-identical to a scalar
+  /// trajectory run on lane L's rng). A nullptr lane_rngs entry marks a
+  /// padding lane of a compacted ragged tail: it rides the uniform
+  /// gates and Kraus branch 0 but consumes no randomness, so padding
+  /// can never shift a real trajectory's draws. The payoff is the
+  /// relaxation path: per gate, sample_and_apply_lanes runs the Born
+  /// weight passes and the renormalization as k independent accumulator
+  /// chains instead of k serial scalar passes.
+  void evolve_lanes(const TrajectoryProgram& program,
+                    sim::BatchedStatevector& bsv,
+                    std::span<Prng* const> lane_rngs) const {
+    for (const auto& op : program.ops) {
+      program.apply_lanes(bsv, op);
+      // Virtual RZ: frame change only, no physical pulse, no error.
+      if (op.k == TrajectoryProgram::K::Rz) continue;
+      // Fused blocks only exist when gates_are_noiseless().
+      if (op.k == TrajectoryProgram::K::Diag2q) continue;
+      if (op.q1 < 0) {
+        for (std::size_t l = 0; l < lane_rngs.size(); ++l)
+          if (lane_rngs[l] != nullptr)
+            inject_depolarizing_lane(bsv, l, op.q0, -1, p1, *lane_rngs[l]);
+        if (relaxation)
+          relax_1q[static_cast<std::size_t>(op.q0)].sample_and_apply_lanes(
+              bsv, op.q0, lane_rngs);
+      } else {
+        for (std::size_t l = 0; l < lane_rngs.size(); ++l)
+          if (lane_rngs[l] != nullptr)
+            inject_depolarizing_lane(bsv, l, op.q0, op.q1, p2, *lane_rngs[l]);
+        if (relaxation) {
+          relax_2q[static_cast<std::size_t>(op.q0)].sample_and_apply_lanes(
+              bsv, op.q0, lane_rngs);
+          relax_2q[static_cast<std::size_t>(op.q1)].sample_and_apply_lanes(
+              bsv, op.q1, lane_rngs);
+        }
+      }
+    }
+  }
 };
 
 std::vector<double> NoisyBackend::run_transpiled(
@@ -846,15 +1011,13 @@ std::vector<double> NoisyBackend::run_transpiled(
   std::vector<double> acc(static_cast<std::size_t>(n_logical), 0.0);
   std::uint64_t total_samples = 0;
 
-  sim::Statevector sv(n_phys);
-  for (int traj = 0; traj < n_traj; ++traj) {
-    Prng rng = exec_rng.split();
-    sv.reset();
-    tables.evolve(program, sv, rng);
-
-    // Readout: sample bitstrings from the final state and apply per-qubit
-    // classical flip errors.
-    const auto samples = sv.sample(shots_per_traj, rng);
+  // Readout: sample bitstrings from a final trajectory state and apply
+  // per-qubit classical flip errors. Shared verbatim by the scalar loop
+  // and every lane of the k-wide path, so the accumulation order over
+  // (trajectory, shot, qubit) -- and every readout draw -- is identical
+  // at every lane width.
+  const auto accumulate = [&](const std::vector<std::uint64_t>& samples,
+                              Prng& rng) {
     for (const auto s : samples) {
       for (int l = 0; l < n_logical; ++l) {
         const int phys = t.final_layout[static_cast<std::size_t>(l)];
@@ -864,6 +1027,57 @@ std::vector<double> NoisyBackend::run_transpiled(
         acc[static_cast<std::size_t>(l)] += bit ? -1.0 : 1.0;
       }
       ++total_samples;
+    }
+  };
+
+  // Evaluation-major trajectory partition: k trajectories evolve in
+  // lockstep on one lane group, a part-filled final group is padded
+  // (padding lanes ride the gates, consume no randomness and are
+  // discarded), and any un-compacted remainder runs the scalar loop.
+  const sim::LanePartition part = sim::partition_lanes(
+      n_phys, static_cast<std::size_t>(n_traj), options_.batch_lanes);
+  note_lane_metrics(part, static_cast<std::size_t>(n_traj));
+
+  if (part.lanes > 1) {
+    // Pre-split one stream per trajectory in trajectory order -- the
+    // exact split sequence the scalar loop draws lazily, so trajectory
+    // j consumes the same stream at every lane width.
+    std::vector<Prng> traj_rngs;
+    traj_rngs.reserve(static_cast<std::size_t>(n_traj));
+    for (int traj = 0; traj < n_traj; ++traj)
+      traj_rngs.push_back(exec_rng.split());
+
+    sim::BatchedStatevector bsv(n_phys, part.lanes);
+    std::array<Prng*, sim::BatchedStatevector::kMaxLanes> lane_rngs{};
+    for (std::size_t g = 0; g < part.groups(); ++g) {
+      const std::size_t first = g * part.lanes;
+      const std::size_t real =
+          g < part.full_groups ? part.lanes : part.padded_evals;
+      for (std::size_t l = 0; l < part.lanes; ++l)
+        lane_rngs[l] = l < real ? &traj_rngs[first + l] : nullptr;
+      bsv.reset();
+      tables.evolve_lanes(
+          program, bsv, std::span<Prng* const>(lane_rngs.data(), part.lanes));
+      for (std::size_t l = 0; l < real; ++l) {
+        Prng& rng = traj_rngs[first + l];
+        accumulate(bsv.sample(l, shots_per_traj, rng), rng);
+      }
+    }
+    sim::Statevector sv(n_phys);
+    for (std::size_t traj = part.tail_start;
+         traj < static_cast<std::size_t>(n_traj); ++traj) {
+      Prng& rng = traj_rngs[traj];
+      sv.reset();
+      tables.evolve(program, sv, rng);
+      accumulate(sv.sample(shots_per_traj, rng), rng);
+    }
+  } else {
+    sim::Statevector sv(n_phys);
+    for (int traj = 0; traj < n_traj; ++traj) {
+      Prng rng = exec_rng.split();
+      sv.reset();
+      tables.evolve(program, sv, rng);
+      accumulate(sv.sample(shots_per_traj, rng), rng);
     }
   }
 
@@ -894,46 +1108,115 @@ double NoisyBackend::expect_transpiled(
     parity_sum[g].assign(groups[g].terms.size(), 0.0);
   std::uint64_t total_samples = 0;
 
-  sim::Statevector sv(n_phys);
-  sim::Statevector meas(n_phys);  // per-group scratch, buffer reused
-  for (int traj = 0; traj < n_traj; ++traj) {
-    Prng rng = exec_rng.split();
-    sv.reset();
-    tables.evolve(program, sv, rng);
-
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      const auto& group = groups[g];
-      // All-Z groups have no suffix: sample the trajectory state
-      // directly instead of paying an O(2^n) copy.
-      const sim::Statevector* src = &sv;
-      if (!group.suffix.empty()) {
-        meas = sv;
-        observable.apply_suffix(meas, g, t.final_layout);
-        src = &meas;
+  // Parity accumulation for one measured group's samples. Shared by the
+  // scalar trajectory loop and every lane of the k-wide path; lanes are
+  // visited in ascending trajectory order per observable group, so the
+  // additions into parity_sum[g][i] happen in exactly the scalar order.
+  const auto accumulate_group = [&](std::size_t g,
+                                    const std::vector<std::uint64_t>& samples,
+                                    Prng& rng) {
+    const auto& group = groups[g];
+    for (const auto s : samples) {
+      // Read every measured qubit once (flips shared by all terms of
+      // the group, exactly as one hardware shot would behave), packed
+      // into a logical-bit word the term masks index directly.
+      std::uint64_t word = 0;
+      for (int q = 0; q < n_logical; ++q) {
+        const std::uint64_t lbit =
+            exec::CompiledObservable::qubit_bit(q, n_logical);
+        if (!(group.measured_mask & lbit)) continue;
+        const int phys = t.final_layout[static_cast<std::size_t>(q)];
+        int bit = static_cast<int>((s >> (n_phys - 1 - phys)) & 1ULL);
+        if (options_.enable_readout_error)
+          bit = tables.readout[static_cast<std::size_t>(phys)].apply(bit, rng);
+        if (bit) word |= lbit;
       }
-      const auto samples = src->sample(shots_per_traj, rng);
-      for (const auto s : samples) {
-        // Read every measured qubit once (flips shared by all terms of
-        // the group, exactly as one hardware shot would behave), packed
-        // into a logical-bit word the term masks index directly.
-        std::uint64_t word = 0;
-        for (int q = 0; q < n_logical; ++q) {
-          const std::uint64_t lbit =
-              exec::CompiledObservable::qubit_bit(q, n_logical);
-          if (!(group.measured_mask & lbit)) continue;
-          const int phys = t.final_layout[static_cast<std::size_t>(q)];
-          int bit = static_cast<int>((s >> (n_phys - 1 - phys)) & 1ULL);
-          if (options_.enable_readout_error)
-            bit = tables.readout[static_cast<std::size_t>(phys)].apply(bit,
-                                                                       rng);
-          if (bit) word |= lbit;
-        }
-        for (std::size_t i = 0; i < group.terms.size(); ++i)
-          parity_sum[g][i] +=
-              (std::popcount(word & group.terms[i].z_mask) & 1) ? -1.0 : 1.0;
-      }
+      for (std::size_t i = 0; i < group.terms.size(); ++i)
+        parity_sum[g][i] +=
+            (std::popcount(word & group.terms[i].z_mask) & 1) ? -1.0 : 1.0;
     }
-    total_samples += static_cast<std::uint64_t>(shots_per_traj);
+  };
+
+  // Same evaluation-major trajectory partition as run_transpiled.
+  const sim::LanePartition part = sim::partition_lanes(
+      n_phys, static_cast<std::size_t>(n_traj), options_.batch_lanes);
+  note_lane_metrics(part, static_cast<std::size_t>(n_traj));
+
+  if (part.lanes > 1) {
+    std::vector<Prng> traj_rngs;
+    traj_rngs.reserve(static_cast<std::size_t>(n_traj));
+    for (int traj = 0; traj < n_traj; ++traj)
+      traj_rngs.push_back(exec_rng.split());
+
+    sim::BatchedStatevector bsv(n_phys, part.lanes);
+    sim::BatchedStatevector bmeas(n_phys, part.lanes);  // suffix scratch
+    std::array<Prng*, sim::BatchedStatevector::kMaxLanes> lane_rngs{};
+    for (std::size_t lg = 0; lg < part.groups(); ++lg) {
+      const std::size_t first = lg * part.lanes;
+      const std::size_t real =
+          lg < part.full_groups ? part.lanes : part.padded_evals;
+      for (std::size_t l = 0; l < part.lanes; ++l)
+        lane_rngs[l] = l < real ? &traj_rngs[first + l] : nullptr;
+      bsv.reset();
+      tables.evolve_lanes(
+          program, bsv, std::span<Prng* const>(lane_rngs.data(), part.lanes));
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        // One suffix application per lane group per commuting group
+        // (not per lane); all-Z groups skip the copy. Each lane's
+        // stream still sees its groups in scalar order: evolve draws,
+        // then group 0 sampling + flips, then group 1, ...
+        const sim::BatchedStatevector* src = &bsv;
+        if (!groups[g].suffix.empty()) {
+          bmeas = bsv;
+          observable.apply_suffix_lanes(bmeas, g, t.final_layout);
+          src = &bmeas;
+        }
+        for (std::size_t l = 0; l < real; ++l) {
+          Prng& rng = traj_rngs[first + l];
+          accumulate_group(g, src->sample(l, shots_per_traj, rng), rng);
+        }
+      }
+      total_samples += static_cast<std::uint64_t>(shots_per_traj) * real;
+    }
+    sim::Statevector sv(n_phys);
+    sim::Statevector meas(n_phys);  // per-group scratch, buffer reused
+    for (std::size_t traj = part.tail_start;
+         traj < static_cast<std::size_t>(n_traj); ++traj) {
+      Prng& rng = traj_rngs[traj];
+      sv.reset();
+      tables.evolve(program, sv, rng);
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        const sim::Statevector* src = &sv;
+        if (!groups[g].suffix.empty()) {
+          meas = sv;
+          observable.apply_suffix(meas, g, t.final_layout);
+          src = &meas;
+        }
+        accumulate_group(g, src->sample(shots_per_traj, rng), rng);
+      }
+      total_samples += static_cast<std::uint64_t>(shots_per_traj);
+    }
+  } else {
+    sim::Statevector sv(n_phys);
+    sim::Statevector meas(n_phys);  // per-group scratch, buffer reused
+    for (int traj = 0; traj < n_traj; ++traj) {
+      Prng rng = exec_rng.split();
+      sv.reset();
+      tables.evolve(program, sv, rng);
+
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        // All-Z groups have no suffix: sample the trajectory state
+        // directly instead of paying an O(2^n) copy.
+        const sim::Statevector* src = &sv;
+        if (!groups[g].suffix.empty()) {
+          meas = sv;
+          observable.apply_suffix(meas, g, t.final_layout);
+          src = &meas;
+        }
+        accumulate_group(g, src->sample(shots_per_traj, rng), rng);
+      }
+      total_samples += static_cast<std::uint64_t>(shots_per_traj);
+    }
   }
 
   double energy = observable.constant();

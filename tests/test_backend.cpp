@@ -217,6 +217,145 @@ TEST(NoisyBackend, TrajectoryCxRzCxFusionIsBitIdentical) {
   }
 }
 
+// One noisy execution with an explicit trajectory lane width; everything
+// else (seed, device, circuit, bindings) held fixed so widths can be
+// compared bitwise.
+std::vector<double> run_noisy_lanes(int lanes, int trajectories, bool gate_noise,
+                                    bool relaxation, bool readout) {
+  NoisyBackendOptions opt;
+  opt.trajectories = trajectories;
+  opt.shots = 512;
+  opt.seed = 0xFEEDFACEULL;
+  opt.enable_gate_noise = gate_noise;
+  opt.enable_relaxation = relaxation;
+  opt.enable_readout_error = readout;
+  opt.batch_lanes = lanes;
+  NoisyBackend backend(DeviceModel::ibmq_manila(), opt);
+  Circuit c(4);
+  qoc::circuit::add_rzz_ring_layer(c);
+  qoc::circuit::add_ry_layer(c);
+  const std::vector<double> theta = {0.3, -0.8, 1.2, 0.5, 0.9, -0.4, 0.2, 1.5};
+  return backend.run(c, theta, {});
+}
+
+TEST(NoisyBackend, KWideTrajectoriesBitIdenticalToScalar) {
+  // The k-wide trajectory loop (gates lane-uniform, noise drawn per lane
+  // from each trajectory's own stream) must reproduce the scalar loop
+  // BITWISE -- including ragged trajectory counts: 16 = full groups,
+  // 12 = full group + padded group, 5 = one padded group, 9 = full
+  // group + scalar tail.
+  for (const int traj : {16, 12, 5, 9}) {
+    for (const bool relaxation : {true, false}) {
+      const auto ref = run_noisy_lanes(1, traj, true, relaxation, true);
+      const auto wide = run_noisy_lanes(8, traj, true, relaxation, true);
+      ASSERT_EQ(ref.size(), wide.size());
+      for (std::size_t q = 0; q < ref.size(); ++q)
+        EXPECT_EQ(ref[q], wide[q])  // bitwise, not approximate
+            << "traj=" << traj << " relaxation=" << relaxation << " q=" << q;
+    }
+  }
+  // Width invariance: every lane width is the same trajectory sequence.
+  const auto ref = run_noisy_lanes(1, 16, true, true, true);
+  for (const int lanes : {2, 4}) {
+    const auto wide = run_noisy_lanes(lanes, 16, true, true, true);
+    for (std::size_t q = 0; q < ref.size(); ++q)
+      EXPECT_EQ(ref[q], wide[q]) << "lanes=" << lanes << " q=" << q;
+  }
+  // Noise-free config: the fused Diag2q stream runs lane-uniform too.
+  const auto ref_clean = run_noisy_lanes(1, 12, false, false, false);
+  const auto wide_clean = run_noisy_lanes(8, 12, false, false, false);
+  for (std::size_t q = 0; q < ref_clean.size(); ++q)
+    EXPECT_EQ(ref_clean[q], wide_clean[q]) << "q=" << q;
+}
+
+TEST(NoisyBackend, KWideBatchPinnedStreamsMatchScalar) {
+  // run_batch over a noisy backend with pinned per-evaluation streams:
+  // lane-grouped trajectories must not shift any evaluation's draws.
+  auto build = [](int lanes) {
+    NoisyBackendOptions opt;
+    opt.trajectories = 12;
+    opt.shots = 384;
+    opt.seed = 0xFEEDFACEULL;
+    opt.batch_lanes = lanes;
+    return NoisyBackend(DeviceModel::ibmq_manila(), opt);
+  };
+  Circuit c(4);
+  qoc::circuit::add_rzz_ring_layer(c);
+  qoc::circuit::add_ry_layer(c);
+  const auto plan = qoc::exec::CompiledCircuit::compile(c);
+  std::vector<std::vector<double>> thetas;
+  std::vector<qoc::exec::Evaluation> evals;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<double> t(8);
+    for (int j = 0; j < 8; ++j) t[j] = 0.2 * (i + 1) + 0.13 * j;
+    thetas.push_back(std::move(t));
+  }
+  for (int i = 0; i < 5; ++i) {
+    qoc::exec::Evaluation e;
+    e.theta = thetas[static_cast<std::size_t>(i)];
+    if (i % 2 == 0) e.rng_stream = 77u + static_cast<std::uint64_t>(i);
+    evals.push_back(e);
+  }
+  NoisyBackend scalar = build(1);
+  NoisyBackend wide = build(8);
+  const auto ref = scalar.run_batch(plan, evals, 2);
+  const auto got = wide.run_batch(plan, evals, 2);
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    for (std::size_t q = 0; q < ref[i].size(); ++q)
+      EXPECT_EQ(ref[i][q], got[i][q]) << "eval=" << i << " q=" << q;
+}
+
+TEST(NoisyBackend, KWideExpectBitIdenticalToScalar) {
+  // expect_batch through the k-wide trajectory loop: basis-change
+  // suffixes are applied lane-uniform through the routed final layout,
+  // and readout flips consume each trajectory's stream in scalar order.
+  auto build = [](int lanes, int trajectories) {
+    NoisyBackendOptions opt;
+    opt.trajectories = trajectories;
+    opt.shots = 384;
+    opt.seed = 0xFEEDFACEULL;
+    opt.batch_lanes = lanes;
+    return NoisyBackend(DeviceModel::ibmq_manila(), opt);
+  };
+  Circuit c(4);
+  qoc::circuit::add_rzz_ring_layer(c);
+  qoc::circuit::add_ry_layer(c);
+  const auto plan = qoc::exec::CompiledCircuit::compile(c);
+  std::vector<qoc::exec::ObservableTerm> terms;
+  terms.push_back({"IIII", 0.5});
+  for (int q = 0; q + 1 < 4; ++q)
+    for (const char p : {'X', 'Y', 'Z'}) {
+      std::string s(4, 'I');
+      s[static_cast<std::size_t>(q)] = p;
+      s[static_cast<std::size_t>(q) + 1] = p;
+      terms.push_back({s, 0.8 + 0.05 * q});
+    }
+  const auto obs = qoc::exec::CompiledObservable::compile(4, terms);
+  std::vector<std::vector<double>> thetas;
+  std::vector<qoc::exec::Evaluation> evals;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<double> t(8);
+    for (int j = 0; j < 8; ++j) t[j] = 0.31 * (i + 1) - 0.07 * j;
+    thetas.push_back(std::move(t));
+  }
+  for (int i = 0; i < 3; ++i) {
+    qoc::exec::Evaluation e;
+    e.theta = thetas[static_cast<std::size_t>(i)];
+    if (i == 1) e.rng_stream = 99u;
+    evals.push_back(e);
+  }
+  for (const int traj : {12, 5}) {
+    NoisyBackend scalar = build(1, traj);
+    NoisyBackend wide = build(8, traj);
+    const auto ref = scalar.expect_batch(plan, obs, evals, 2);
+    const auto got = wide.expect_batch(plan, obs, evals, 2);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      EXPECT_EQ(ref[i], got[i]) << "traj=" << traj << " eval=" << i;
+  }
+}
+
 TEST(NoisyBackend, RejectsBadOptions) {
   NoisyBackendOptions opt;
   opt.trajectories = 0;

@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "qoc/backend/backend.hpp"
@@ -26,6 +29,22 @@ using qoc::sim::batch_lane_width;
 using qoc::sim::parse_batch_lanes;
 
 constexpr std::uint64_t kSeed = 0xBADC0FFEEULL;
+
+// The calibrated-model verdict depends on this machine's micro-probe;
+// pin a flat full-width table before any test dispatches so the policy
+// and parity tests below are deterministic everywhere (including under
+// sanitizers, where a live probe would measure garbage and pick
+// scalar). Calibration-specific tests repin whatever they need and
+// restore this table before returning.
+qoc::sim::LaneCalibration pinned_flat_calibration() {
+  return qoc::sim::LaneCalibration::flat(qoc::sim::kBatchedLaneMaxQubits,
+                                         qoc::sim::kBatchedLanes);
+}
+
+const bool kCalibrationPinned = [] {
+  qoc::sim::set_lane_calibration(pinned_flat_calibration());
+  return true;
+}();
 
 // A structurally rich circuit on n qubits: fixed gates (structured and
 // dense), diagonal and dense rotations, controlled rotations, a fused
@@ -142,16 +161,20 @@ TEST(BatchLanePolicy, ParseBatchLanesStrictDigits) {
 }
 
 TEST(BatchLanePolicy, CostModelCrossover) {
-  // Small register + enough bindings -> full-width lane groups across
-  // the whole supported range (the n = 14 group is 2 MiB, exactly the
-  // L2 of the parts this targets; measured faster than narrower groups).
+  // Under the pinned flat table: full width across the supported range,
+  // scalar beyond it.
   EXPECT_EQ(batch_lane_width(10, 64), qoc::sim::kBatchedLanes);
   EXPECT_EQ(batch_lane_width(13, 64), qoc::sim::kBatchedLanes);
   EXPECT_EQ(batch_lane_width(qoc::sim::kBatchedLaneMaxQubits, 64),
             qoc::sim::kBatchedLanes);
-  // One past either threshold -> scalar.
   EXPECT_EQ(batch_lane_width(qoc::sim::kBatchedLaneMaxQubits + 1, 64), 1u);
-  EXPECT_EQ(batch_lane_width(10, qoc::sim::kBatchedLanes - 1), 1u);
+  // Tail compaction makes a half-full group profitable, so a width no
+  // longer needs k full evaluations: k/2 suffice, one fewer does not.
+  EXPECT_EQ(batch_lane_width(10, qoc::sim::kBatchedLanes - 1),
+            qoc::sim::kBatchedLanes);
+  EXPECT_EQ(batch_lane_width(10, qoc::sim::kBatchedLanes / 2),
+            qoc::sim::kBatchedLanes);
+  EXPECT_EQ(batch_lane_width(10, qoc::sim::kBatchedLanes / 2 - 1), 1u);
   EXPECT_EQ(batch_lane_width(qoc::sim::kBatchedLaneMaxQubits, 3), 1u);
 }
 
@@ -160,9 +183,165 @@ TEST(BatchLanePolicy, OptionsPin) {
   EXPECT_EQ(batch_lane_width(10, 64, 0), 1u);   // kill switch
   EXPECT_EQ(batch_lane_width(10, 64, 1), 1u);
   EXPECT_EQ(batch_lane_width(10, 64, 4), 4u);
-  EXPECT_EQ(batch_lane_width(10, 3, 4), 1u);    // batch too small to fill
+  EXPECT_EQ(batch_lane_width(10, 3, 4), 4u);    // half-full batch: compacted
+  EXPECT_EQ(batch_lane_width(10, 1, 4), 1u);    // below half: scalar
   EXPECT_EQ(batch_lane_width(10, 64, 7), 6u);   // odd pins clamp down
   EXPECT_EQ(batch_lane_width(10, 64, 40), 32u); // kMaxLanes cap
+}
+
+TEST(BatchLanePolicy, PartitionLanes) {
+  using qoc::sim::partition_lanes;
+  // 260 @ 8: 32 full groups + a 4-eval tail compacted into one padded
+  // group (exactly half full) -> 33 groups, nothing scalar.
+  auto p = partition_lanes(10, 260, 8);
+  EXPECT_EQ(p.lanes, 8u);
+  EXPECT_EQ(p.full_groups, 32u);
+  EXPECT_EQ(p.padded_evals, 4u);
+  EXPECT_EQ(p.groups(), 33u);
+  EXPECT_EQ(p.tail_start, 260u);
+
+  // 9 @ 8: a 1-eval tail is below half -> scalar tail, no padded group.
+  p = partition_lanes(10, 9, 8);
+  EXPECT_EQ(p.full_groups, 1u);
+  EXPECT_EQ(p.padded_evals, 0u);
+  EXPECT_EQ(p.groups(), 1u);
+  EXPECT_EQ(p.tail_start, 8u);
+
+  // 5 @ 8: no full group, but the batch fills >= half the lanes ->
+  // one padded group covers everything.
+  p = partition_lanes(10, 5, 8);
+  EXPECT_EQ(p.lanes, 8u);
+  EXPECT_EQ(p.full_groups, 0u);
+  EXPECT_EQ(p.padded_evals, 5u);
+  EXPECT_EQ(p.groups(), 1u);
+  EXPECT_EQ(p.tail_start, 5u);
+
+  // 3 @ 8: below half -> batch_lane_width degrades to scalar outright.
+  p = partition_lanes(10, 3, 8);
+  EXPECT_EQ(p.lanes, 1u);
+  EXPECT_EQ(p.groups(), 0u);
+  EXPECT_EQ(p.tail_start, 0u);
+
+  // Beyond the calibrated range everything is scalar.
+  p = partition_lanes(qoc::sim::kBatchedLaneMaxQubits + 1, 64);
+  EXPECT_EQ(p.lanes, 1u);
+  EXPECT_EQ(p.tail_start, 0u);
+}
+
+// ---- Calibration table tests -----------------------------------------------
+
+TEST(LaneCalibration, SerializeParseRoundTrip) {
+  using qoc::sim::LaneCalibration;
+  LaneCalibration cal;
+  cal.width.fill(1);
+  cal.width[0] = 0;
+  for (int n = 1; n <= 8; ++n) cal.width[n] = 8;
+  for (int n = 9; n <= 12; ++n) cal.width[n] = 4;
+  cal.width[14] = 2;
+  EXPECT_EQ(cal.serialize(), "v1;1-8:8,9-12:4,14:2");
+  const auto back = LaneCalibration::parse(cal.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->width, cal.width);
+  EXPECT_EQ(back->max_wide_qubits(), 14);
+
+  // All-scalar serializes to the bare header and round-trips.
+  LaneCalibration scalar = LaneCalibration::flat(0, 8);
+  EXPECT_EQ(scalar.serialize(), "v1;");
+  const auto scalar_back = LaneCalibration::parse("v1;");
+  ASSERT_TRUE(scalar_back.has_value());
+  EXPECT_EQ(scalar_back->max_wide_qubits(), 0);
+}
+
+TEST(LaneCalibration, ParseRejectsMalformed) {
+  using qoc::sim::LaneCalibration;
+  // Any bad token rejects the WHOLE string: a truncated table silently
+  // accepted would pin wrong widths in CI forever.
+  EXPECT_FALSE(LaneCalibration::parse("").has_value());
+  EXPECT_FALSE(LaneCalibration::parse("v2;1-8:8").has_value());
+  EXPECT_FALSE(LaneCalibration::parse("1-8:8").has_value());
+  EXPECT_FALSE(LaneCalibration::parse("v1;1-8").has_value());        // no width
+  EXPECT_FALSE(LaneCalibration::parse("v1;1-8:3").has_value());      // odd
+  EXPECT_FALSE(LaneCalibration::parse("v1;1-8:34").has_value());     // > max
+  EXPECT_FALSE(LaneCalibration::parse("v1;8-1:8").has_value());      // lo > hi
+  EXPECT_FALSE(LaneCalibration::parse("v1;1-31:8").has_value());     // n > 30
+  EXPECT_FALSE(LaneCalibration::parse("v1;0-8:8").has_value());      // n = 0
+  EXPECT_FALSE(LaneCalibration::parse("v1;1-8:8,4-12:4").has_value());  // overlap
+  EXPECT_FALSE(LaneCalibration::parse("v1;1-8:8,junk").has_value());
+  EXPECT_FALSE(LaneCalibration::parse("v1;1 - 8:8").has_value());    // spaces
+  EXPECT_FALSE(LaneCalibration::parse("v1;+1-8:8").has_value());     // signs
+}
+
+TEST(LaneCalibration, SetAndResolveDriveLaneWidth) {
+  using qoc::sim::LaneCalibration;
+  // A pinned table IS the policy for deferred dispatches.
+  LaneCalibration cal = LaneCalibration::flat(0, 8);
+  for (int n = 6; n <= 10; ++n) cal.width[n] = 4;
+  qoc::sim::set_lane_calibration(cal);
+  EXPECT_EQ(batch_lane_width(8, 64), 4u);
+  EXPECT_EQ(batch_lane_width(5, 64), 1u);
+  EXPECT_EQ(batch_lane_width(12, 64), 1u);
+  EXPECT_EQ(qoc::sim::lane_calibration().source,
+            qoc::sim::LaneCalibrationSource::kPinned);
+  // Options pin still beats the table; env beats both (covered in
+  // EnvOverrideWinsOverEverything).
+  EXPECT_EQ(batch_lane_width(8, 64, 8), 8u);
+  qoc::sim::set_lane_calibration(pinned_flat_calibration());
+}
+
+TEST(LaneCalibration, EnvKnobResolvesSerializedTable) {
+  // QOC_LANE_CALIBRATION pins the table for CI determinism; resolution
+  // happens when no calibration is cached (first dispatch in a fresh
+  // process; reset_lane_calibration() here).
+  ::setenv("QOC_LANE_CALIBRATION", "v1;1-10:4", 1);
+  qoc::sim::reset_lane_calibration();
+  auto cal = qoc::sim::lane_calibration();
+  EXPECT_EQ(cal.source, qoc::sim::LaneCalibrationSource::kEnv);
+  EXPECT_EQ(cal.width[10], 4u);
+  EXPECT_EQ(cal.width[11], 1u);
+  EXPECT_EQ(batch_lane_width(10, 64), 4u);
+
+  // @file form: the file holds the serialized table (trailing newline
+  // tolerated, as written by a calibration-capture step).
+  const std::string path = ::testing::TempDir() + "qoc_lane_cal_test.txt";
+  {
+    std::ofstream out(path);
+    out << "v1;1-12:8\n";
+  }
+  ::setenv("QOC_LANE_CALIBRATION", ("@" + path).c_str(), 1);
+  qoc::sim::reset_lane_calibration();
+  cal = qoc::sim::lane_calibration();
+  EXPECT_EQ(cal.source, qoc::sim::LaneCalibrationSource::kFile);
+  EXPECT_EQ(cal.width[12], 8u);
+  std::remove(path.c_str());
+
+  ::unsetenv("QOC_LANE_CALIBRATION");
+  qoc::sim::set_lane_calibration(pinned_flat_calibration());
+}
+
+TEST(LaneCalibration, GarbageEnvFallsBackToProbe) {
+  // Repo env-knob convention: unparseable values are ignored, so a typo
+  // degrades to the measured default instead of poisoning the policy.
+  ::setenv("QOC_LANE_CALIBRATION", "v1;totally-bogus", 1);
+  qoc::sim::reset_lane_calibration();
+  const auto cal = qoc::sim::lane_calibration();
+  EXPECT_EQ(cal.source, qoc::sim::LaneCalibrationSource::kMeasured);
+  ::unsetenv("QOC_LANE_CALIBRATION");
+  qoc::sim::set_lane_calibration(pinned_flat_calibration());
+}
+
+TEST(LaneCalibration, ExplicitCalibrateInstallsMeasuredTable) {
+  const auto cal = qoc::sim::calibrate();
+  EXPECT_EQ(cal.source, qoc::sim::LaneCalibrationSource::kMeasured);
+  // Whatever the probe measured is now the process-wide policy.
+  EXPECT_EQ(qoc::sim::lane_calibration().serialize(), cal.serialize());
+  // Probed widths stay inside the supported envelope: even, <= max,
+  // nothing wide beyond the probed grid.
+  for (int n = 1; n <= qoc::sim::LaneCalibration::kMaxQubits; ++n) {
+    const unsigned w = cal.width[static_cast<std::size_t>(n)];
+    EXPECT_TRUE(w == 1 || (w % 2 == 0 && w <= 32)) << "n=" << n;
+    if (n > qoc::sim::kBatchedLaneMaxQubits) EXPECT_EQ(w, 1u) << "n=" << n;
+  }
+  qoc::sim::set_lane_calibration(pinned_flat_calibration());
 }
 
 TEST(BatchLanePolicy, EnvOverrideWinsOverEverything) {
@@ -263,6 +442,74 @@ TEST(BatchKernelParity, RunBatchLayeredRingFusion) {
       for (std::size_t q = 0; q < ref[i].size(); ++q)
         EXPECT_EQ(ref[i][q], got[i][q])  // bitwise, not approximate
             << "n=" << n << " eval=" << i << " qubit=" << q;
+    }
+  }
+}
+
+TEST(BatchKernelParity, RunBatchRaggedTailCompaction) {
+  // Partition shapes around the padded final group: tail exactly half
+  // full, tail above half, a batch smaller than one group, and a tail
+  // below half (which must fall back to the scalar loop). Results must
+  // be bitwise identical to the scalar oracle in every shape.
+  struct Shape {
+    int lanes;
+    std::size_t count;
+  };
+  const Shape shapes[] = {{8, 132}, {8, 12}, {8, 5}, {8, 9}, {4, 10}, {2, 7}};
+  const Circuit c = dense_circuit(6);
+  const CompiledCircuit plan = CompiledCircuit::compile(c);
+  for (const auto& shape : shapes) {
+    const EvalSet s = make_evals(6, shape.count);
+    StatevectorBackend oracle = scalar_backend();
+    StatevectorBackend wide = wide_backend(0, shape.lanes);
+    const auto ref = oracle.run_batch(plan, s.evals, 1);
+    for (const unsigned threads : {1u, 3u}) {
+      const auto got = wide.run_batch(plan, s.evals, threads);
+      ASSERT_EQ(ref.size(), got.size());
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        for (std::size_t q = 0; q < ref[i].size(); ++q)
+          EXPECT_EQ(ref[i][q], got[i][q])
+              << "lanes=" << shape.lanes << " count=" << shape.count
+              << " threads=" << threads << " eval=" << i;
+    }
+  }
+}
+
+TEST(BatchKernelParity, RunBatchRaggedTailSampled) {
+  // Padded groups in sampled mode: padding lanes must never consume a
+  // draw, so every real evaluation's stream is intact. Mixed pinned and
+  // auto streams.
+  const Circuit c = dense_circuit(6);
+  const CompiledCircuit plan = CompiledCircuit::compile(c);
+  for (const std::size_t count : {12u, 5u}) {
+    const EvalSet s = make_evals(6, count, /*pin_streams=*/true);
+    StatevectorBackend oracle = scalar_backend(128);
+    StatevectorBackend wide = wide_backend(128, 8);
+    const auto ref = oracle.run_batch(plan, s.evals, 2);
+    const auto got = wide.run_batch(plan, s.evals, 2);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      for (std::size_t q = 0; q < ref[i].size(); ++q)
+        EXPECT_EQ(ref[i][q], got[i][q]) << "count=" << count << " i=" << i;
+  }
+}
+
+qoc::exec::CompiledObservable chain_observable(int n);  // defined below
+
+TEST(BatchKernelParity, ExpectBatchRaggedTail) {
+  const Circuit c = dense_circuit(6);
+  const CompiledCircuit plan = CompiledCircuit::compile(c);
+  const auto obs = chain_observable(6);
+  for (const int shots : {0, 128}) {
+    for (const std::size_t count : {12u, 5u}) {
+      const EvalSet s = make_evals(6, count, /*pin_streams=*/shots > 0);
+      StatevectorBackend oracle = scalar_backend(shots);
+      StatevectorBackend wide = wide_backend(shots, 8);
+      const auto ref = oracle.expect_batch(plan, obs, s.evals, 2);
+      const auto got = wide.expect_batch(plan, obs, s.evals, 2);
+      ASSERT_EQ(ref.size(), got.size());
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(ref[i], got[i])
+            << "shots=" << shots << " count=" << count << " i=" << i;
     }
   }
 }

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Assert a throughput ratio between two benchmark lines in a BENCH_*.json.
+
+CI bench-smoke guard for the evaluation-major batch path: the k-wide
+distinct-binding sweep must beat the scalar loop by a real margin, not
+merely tie it. Reads the google-benchmark JSON that `bench_sim_micro
+--json` drops (BENCH_sim_micro.json) and compares items_per_second of a
+"wide" line against a "scalar" line:
+
+    tools/check_bench_ratio.py BENCH_sim_micro.json \
+        --name BM_RunBatchDistinctBindings \
+        --scalar 10/1 --wide 10/-1 --min-ratio 1.5
+
+Exit code 0 iff wide/scalar >= min-ratio. Aggregate rows (mean/median/
+stddev from --benchmark_repetitions) are skipped; when several plain
+rows match (repetitions without aggregates) the best items_per_second
+of each side is used, which makes the check robust to a noisy run
+being one of the repetitions.
+"""
+
+import argparse
+import json
+import sys
+
+
+def best_items_per_second(results, name, args_suffix):
+    full = f"{name}/{args_suffix}"
+    rates = [
+        r["items_per_second"]
+        for r in results
+        if r.get("name") == full
+        and r.get("run_type", "iteration") == "iteration"
+        and "items_per_second" in r
+    ]
+    if not rates:
+        sys.exit(f"check_bench_ratio: no benchmark line named {full!r}")
+    return max(rates)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json_path", help="BENCH_*.json from a --json bench run")
+    ap.add_argument("--name", required=True, help="benchmark family name")
+    ap.add_argument("--scalar", required=True,
+                    help="arg suffix of the scalar line, e.g. 10/1")
+    ap.add_argument("--wide", required=True,
+                    help="arg suffix of the wide line, e.g. 10/-1")
+    ap.add_argument("--min-ratio", type=float, default=1.5,
+                    help="required wide/scalar items_per_second ratio")
+    opts = ap.parse_args()
+
+    with open(opts.json_path) as f:
+        doc = json.load(f)
+    results = doc.get("benchmarks", [])
+
+    scalar = best_items_per_second(results, opts.name, opts.scalar)
+    wide = best_items_per_second(results, opts.name, opts.wide)
+    ratio = wide / scalar
+
+    status = "OK" if ratio >= opts.min_ratio else "FAIL"
+    print(f"{status}: {opts.name} {opts.wide} vs {opts.scalar}: "
+          f"{wide:.3g} / {scalar:.3g} items/s = {ratio:.2f}x "
+          f"(required >= {opts.min_ratio:.2f}x)")
+    if ratio < opts.min_ratio:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
